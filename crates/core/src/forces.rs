@@ -1,0 +1,556 @@
+//! The deterministic fixed-point force pipeline.
+//!
+//! Every contribution — range-limited pair (through the PPIP table models),
+//! bonded term, correction pair, and mesh force — is a pure function of
+//! fixed-point positions, quantized to Q24 raw force components *before*
+//! accumulation. Accumulation is two's-complement wrapping addition, which
+//! is associative and commutative, so the decomposition (single rank or any
+//! simulated node grid) can only permute additions and never changes a bit
+//! of the result. This is the software realization of paper §4.
+
+use crate::state::{FixedState, ENERGY_FRAC, FORCE_FRAC};
+use anton_ewald::direct::DirectKernel;
+use anton_ewald::gse::{GseFixed, GseParams};
+use anton_ewald::Mesh;
+use anton_fixpoint::rounding::rne_f64;
+use anton_fixpoint::Q20;
+use anton_forcefield::bonded;
+use anton_forcefield::ExclusionPolicy;
+use anton_geometry::{CellGrid, IVec3, Vec3};
+use anton_machine::Ppip;
+use anton_nt::assign::{NodeGrid, NtAssignment};
+use anton_nt::migration::assign_homes;
+use anton_systems::System;
+
+/// How force work is enumerated (never affects results, bitwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decomposition {
+    /// One rank enumerates all pairs via a cell grid.
+    SingleRank,
+    /// A simulated Anton machine with this many nodes (power of two):
+    /// work is enumerated per node with the NT method, constraint groups
+    /// co-located on their leader's home node.
+    Nodes(usize),
+}
+
+/// Raw fixed-point force/energy accumulators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawForces {
+    /// Q24 force raw values per atom.
+    pub f: Vec<[i64; 3]>,
+    /// Q32 energy raws.
+    pub e_range_limited: i64,
+    pub e_bonded: i64,
+    pub e_correction: i64,
+    pub e_reciprocal: i64,
+    /// Pairwise virial Σ r⃗·F⃗ over range-limited + correction pairs, kept in
+    /// a wide accumulator like the ASIC's 86-bit units (paper Figure 4c):
+    /// wide enough that pressure-controlled accounting stays deterministic
+    /// and parallel invariant. Q32, kcal/mol.
+    pub virial: anton_fixpoint::Wide<32>,
+}
+
+impl RawForces {
+    pub fn zeroed(n: usize) -> RawForces {
+        RawForces {
+            f: vec![[0i64; 3]; n],
+            e_range_limited: 0,
+            e_bonded: 0,
+            e_correction: 0,
+            e_reciprocal: 0,
+            virial: anton_fixpoint::Wide::ZERO,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        for f in self.f.iter_mut() {
+            *f = [0; 3];
+        }
+        self.e_range_limited = 0;
+        self.e_bonded = 0;
+        self.e_correction = 0;
+        self.e_reciprocal = 0;
+        self.virial = anton_fixpoint::Wide::ZERO;
+    }
+
+    /// The accumulated pairwise virial (kcal/mol).
+    pub fn virial_f64(&self) -> f64 {
+        self.virial.to_f64()
+    }
+
+    /// Potential energy (kcal/mol).
+    pub fn potential(&self) -> f64 {
+        let s = 1.0 / (1u64 << ENERGY_FRAC) as f64;
+        (self.e_range_limited.wrapping_add(self.e_bonded).wrapping_add(self.e_correction))
+            as f64
+            * s
+            + self.e_reciprocal as f64 * s
+    }
+
+    pub fn force_f64(&self, i: usize) -> Vec3 {
+        let s = 1.0 / (1i64 << FORCE_FRAC) as f64;
+        Vec3::new(self.f[i][0] as f64 * s, self.f[i][1] as f64 * s, self.f[i][2] as f64 * s)
+    }
+}
+
+/// The pipeline bound to one system.
+pub struct ForcePipeline {
+    pub ppip: Ppip,
+    pub gse: GseFixed,
+    pub beta: f64,
+    corr_kernel: DirectKernel,
+    pub rc2_q20: i64,
+    pub half_edge_q20: [Q20; 3],
+    policy: ExclusionPolicy,
+    /// Import-region margin (Å) covering constraint-group co-location and
+    /// deferred migration (§3.2.4).
+    pub import_margin: f64,
+}
+
+impl ForcePipeline {
+    pub fn new(sys: &System) -> ForcePipeline {
+        let beta = sys.params.ewald_beta();
+        let e = sys.pbox.edge();
+        let gse_params = GseParams::auto(sys.params.cutoff, sys.params.spread_cutoff);
+        ForcePipeline {
+            ppip: Ppip::build(beta, sys.params.cutoff),
+            gse: GseFixed::new(Mesh::new(sys.params.mesh, sys.pbox), gse_params),
+            beta,
+            corr_kernel: DirectKernel::reference(beta, sys.params.cutoff),
+            rc2_q20: Q20::from_f64(sys.params.cutoff * sys.params.cutoff).raw(),
+            half_edge_q20: [
+                Q20::from_f64(e.x / 2.0),
+                Q20::from_f64(e.y / 2.0),
+                Q20::from_f64(e.z / 2.0),
+            ],
+            policy: sys
+                .topology
+                .exclusions
+                .policy
+                .unwrap_or(ExclusionPolicy::amber_like()),
+            import_margin: 8.0,
+        }
+    }
+
+    /// One range-limited pair: fixed-point r², exact integer cutoff test,
+    /// PPIP tables, quantized force. Returns the Q24 force on atom `i`
+    /// (negate for `j`) and the Q32 pair energy. Orientation-free: calling
+    /// with (j, i) yields the exact negation.
+    #[inline]
+    fn pair_contribution(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        i: usize,
+        j: usize,
+    ) -> Option<([i64; 3], i64)> {
+        let top = &sys.topology;
+        let (iu, ju) = (i as u32, j as u32);
+        if top.exclusions.is_excluded(iu, ju) {
+            return None;
+        }
+        let d = state.delta_q20(self.half_edge_q20, i, j);
+        // Exact r² in Q20 with a single rounding (component order free).
+        let sum: i128 =
+            d[0] as i128 * d[0] as i128 + d[1] as i128 * d[1] as i128 + d[2] as i128 * d[2] as i128;
+        let r2 = anton_fixpoint::rne_shr_i128(sum, 20);
+        if r2 > self.rc2_q20 || r2 == 0 {
+            return None;
+        }
+        let (se, sl) = if top.exclusions.is_14(iu, ju) {
+            (self.policy.elec_14, self.policy.lj_14)
+        } else {
+            (1.0, 1.0)
+        };
+        let qq = top.charge[i] * top.charge[j] * se;
+        let (a, b) = top.lj_table.coeffs(top.lj_type[i], top.lj_type[j]);
+        let (f_over_r, e) = self.ppip.pair(r2, qq, a * sl, b * sl);
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let fs = (1i64 << FORCE_FRAC) as f64;
+        let fi = [
+            rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
+            rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
+            rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
+        ];
+        let eq = rne_f64(e * (1u64 << ENERGY_FRAC) as f64) as i64;
+        Some((fi, eq))
+    }
+
+    /// Range-limited forces under the chosen decomposition.
+    pub fn range_limited(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        decomposition: Decomposition,
+        out: &mut RawForces,
+    ) {
+        match decomposition {
+            Decomposition::SingleRank => self.range_limited_cellgrid(sys, state, out),
+            Decomposition::Nodes(n) => self.range_limited_nt(sys, state, n, out),
+        }
+    }
+
+    fn apply_pair(&self, sys: &System, state: &FixedState, i: usize, j: usize, out: &mut RawForces) {
+        if let Some((fi, eq)) = self.pair_contribution(sys, state, i, j) {
+            let d = state.delta_q20(self.half_edge_q20, i, j);
+            for k in 0..3 {
+                out.f[i][k] = out.f[i][k].wrapping_add(fi[k]);
+                out.f[j][k] = out.f[j][k].wrapping_sub(fi[k]);
+                // r·F into the wide virial accumulator (exact products,
+                // order-free accumulation).
+                out.virial = out.virial.accumulate(
+                    anton_fixpoint::Q::<20>::from_raw(d[k]),
+                    anton_fixpoint::Q::<24>::from_raw(fi[k]),
+                );
+            }
+            out.e_range_limited = out.e_range_limited.wrapping_add(eq);
+        }
+    }
+
+    fn range_limited_cellgrid(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let pos = state.decode_positions(&sys.pbox);
+        // Slack over the cutoff: the decode and the fixed r² agree to
+        // ~1e-4 Å, so candidates are a strict superset of the exact set.
+        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + 0.2);
+        grid.for_each_pair_within(&pos, sys.params.cutoff + 0.2, |i, j, _d, _r2| {
+            self.apply_pair(sys, state, i, j, out);
+        });
+    }
+
+    /// NT-method enumeration over a simulated node grid: atoms live on the
+    /// home node of their constraint-group leader; each node enumerates its
+    /// tower × plate candidates and keeps the pairs the NT assignment maps
+    /// to it. The exact fixed-point cutoff filter makes the interaction set
+    /// identical to the single-rank path; wrapping accumulation makes the
+    /// *forces* identical bitwise.
+    fn range_limited_nt(&self, sys: &System, state: &FixedState, nodes: usize, out: &mut RawForces) {
+        let dims = anton_machine::config::near_cubic_torus(nodes);
+        let grid = NodeGrid::new(dims[0] as i32, dims[1] as i32, dims[2] as i32);
+        let e = sys.pbox.edge();
+        let box_edges = [
+            e.x / dims[0] as f64,
+            e.y / dims[1] as f64,
+            e.z / dims[2] as f64,
+        ];
+        let nt = NtAssignment::for_cutoff(grid, sys.params.cutoff + self.import_margin, box_edges);
+
+        // Home assignment with constraint groups co-located (§3.2.4).
+        let fracs: Vec<[f64; 3]> =
+            state.positions.iter().map(|p| p.to_unit_frac()).collect();
+        let groups: Vec<Vec<u32>> =
+            sys.topology.constraint_groups.iter().map(|g| g.atoms()).collect();
+        let homes = assign_homes(&grid, &fracs, &groups);
+
+        let mut atoms_in: Vec<Vec<u32>> = vec![Vec::new(); grid.node_count()];
+        for (i, b) in homes.iter().enumerate() {
+            atoms_in[grid.index(*b)].push(i as u32);
+        }
+
+        for node_idx in 0..grid.node_count() {
+            let node = grid.coord(node_idx);
+            let tower = nt.tower_boxes(node);
+            let plate = nt.plate_boxes(node);
+            for tb in &tower {
+                for pb in &plate {
+                    let same_box = tb == pb;
+                    for &i in &atoms_in[grid.index(*tb)] {
+                        for &j in &atoms_in[grid.index(*pb)] {
+                            if i == j || (same_box && i > j) {
+                                continue;
+                            }
+                            if nt.node_for_pair(homes[i as usize], homes[j as usize]) != node {
+                                continue;
+                            }
+                            self.apply_pair(sys, state, i as usize, j as usize, out);
+                        }
+                    }
+                }
+            }
+        }
+        let _: IVec3 = grid.dims; // (document the grid orientation is torus-shaped)
+    }
+
+    /// Bonded terms: evaluated on the flexible subsystem in the paper; here
+    /// each term's forces are computed from decoded positions and quantized
+    /// per atom before accumulation (term order immaterial).
+    pub fn bonded(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let pos = state.decode_positions(&sys.pbox);
+        let top = &sys.topology;
+        let fs = (1i64 << FORCE_FRAC) as f64;
+        let es = (1u64 << ENERGY_FRAC) as f64;
+        let add = |out: &mut RawForces, idx: u32, f: Vec3| {
+            let a = &mut out.f[idx as usize];
+            a[0] = a[0].wrapping_add(rne_f64(f.x * fs) as i64);
+            a[1] = a[1].wrapping_add(rne_f64(f.y * fs) as i64);
+            a[2] = a[2].wrapping_add(rne_f64(f.z * fs) as i64);
+        };
+        for b in &top.bonds {
+            let (u, fi, fj) = bonded::bond_term(&sys.pbox, &pos, b);
+            add(out, b.i, fi);
+            add(out, b.j, fj);
+            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
+        }
+        for a in &top.angles {
+            let (u, fi, fj, fk) = bonded::angle_term(&sys.pbox, &pos, a);
+            add(out, a.i, fi);
+            add(out, a.j, fj);
+            add(out, a.k_atom, fk);
+            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
+        }
+        for d in &top.dihedrals {
+            let (u, fi, fj, fk, fl) = bonded::dihedral_term(&sys.pbox, &pos, d);
+            add(out, d.i, fi);
+            add(out, d.j, fj);
+            add(out, d.k_atom, fk);
+            add(out, d.l, fl);
+            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
+        }
+    }
+
+    /// Correction forces (excluded and 1-4 pairs): the correction pipeline
+    /// of the flexible subsystem (§3.1).
+    pub fn corrections(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let top = &sys.topology;
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let fs = (1i64 << FORCE_FRAC) as f64;
+        let es = (1u64 << ENERGY_FRAC) as f64;
+        let run = |out: &mut RawForces, pairs: &[(u32, u32)], scale: f64| {
+            for &(i, j) in pairs {
+                let qq = top.charge[i as usize] * top.charge[j as usize] * scale;
+                if qq == 0.0 {
+                    continue;
+                }
+                let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
+                let r2 =
+                    (d[0] as f64 * ds).powi(2) + (d[1] as f64 * ds).powi(2) + (d[2] as f64 * ds).powi(2);
+                let (e, f_over_r) = self.corr_kernel.exclusion_correction(qq, r2);
+                let a = &mut out.f[i as usize];
+                let fi = [
+                    rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
+                    rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
+                    rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
+                ];
+                a[0] = a[0].wrapping_add(fi[0]);
+                a[1] = a[1].wrapping_add(fi[1]);
+                a[2] = a[2].wrapping_add(fi[2]);
+                let b = &mut out.f[j as usize];
+                b[0] = b[0].wrapping_sub(fi[0]);
+                b[1] = b[1].wrapping_sub(fi[1]);
+                b[2] = b[2].wrapping_sub(fi[2]);
+                out.e_correction = out.e_correction.wrapping_add(rne_f64(e * es) as i64);
+            }
+        };
+        run(out, top.exclusions.excluded_pairs(), 1.0);
+        run(out, top.exclusions.pairs_14(), 1.0 - self.policy.elec_14);
+    }
+
+    /// Long-range (mesh) forces via the fixed-point GSE pipeline.
+    pub fn reciprocal(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let pos = state.decode_positions(&sys.pbox);
+        let e = self
+            .gse
+            .compute_fixed(&pos, &sys.topology.charge, FORCE_FRAC, &mut out.f);
+        out.e_reciprocal = out.e_reciprocal.wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_forcefield::water::TIP3P;
+    use anton_geometry::PeriodicBox;
+    use anton_systems::spec::RunParams;
+    use anton_systems::waterbox::pure_water_topology;
+
+    fn water_system(n: usize, seed: u64) -> System {
+        let pbox = PeriodicBox::cubic(18.0);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, n, seed);
+        System {
+            name: "w".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.5, 16),
+        }
+    }
+
+    fn state_of(sys: &System) -> FixedState {
+        FixedState::from_f64(
+            &sys.pbox,
+            &sys.positions,
+            &vec![Vec3::ZERO; sys.n_atoms()],
+        )
+    }
+
+    /// The paper's parallel-invariance claim, at force granularity: the NT
+    /// decomposition on several node counts produces bitwise identical raw
+    /// forces to the single-rank cell-grid enumeration.
+    #[test]
+    fn forces_are_bitwise_invariant_across_decompositions() {
+        let sys = water_system(140, 3);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys);
+
+        let mut reference = RawForces::zeroed(sys.n_atoms());
+        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut reference);
+
+        for nodes in [1usize, 2, 8, 64] {
+            let mut out = RawForces::zeroed(sys.n_atoms());
+            pipe.range_limited(&sys, &state, Decomposition::Nodes(nodes), &mut out);
+            assert_eq!(out, reference, "decomposition over {nodes} nodes diverged");
+        }
+    }
+
+    #[test]
+    fn forces_are_deterministic() {
+        let sys = water_system(100, 5);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys);
+        let mut a = RawForces::zeroed(sys.n_atoms());
+        let mut b = RawForces::zeroed(sys.n_atoms());
+        for out in [&mut a, &mut b] {
+            pipe.range_limited(&sys, &state, Decomposition::SingleRank, out);
+            pipe.bonded(&sys, &state, out);
+            pipe.corrections(&sys, &state, out);
+            pipe.reciprocal(&sys, &state, out);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_limited_momentum_is_exactly_conserved() {
+        // Pairwise quantized forces obey Newton's third law exactly, so the
+        // raw force sum is exactly zero.
+        let sys = water_system(120, 7);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys);
+        let mut out = RawForces::zeroed(sys.n_atoms());
+        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+        pipe.corrections(&sys, &state, &mut out);
+        let mut net = [0i64; 3];
+        for f in &out.f {
+            for k in 0..3 {
+                net[k] = net[k].wrapping_add(f[k]);
+            }
+        }
+        assert_eq!(net, [0, 0, 0]);
+    }
+
+    /// Table 4's "numerical force error": the fixed-point/table forces
+    /// against the same parameters evaluated in f64, as a fraction of the
+    /// rms force — should land near the paper's ~1e-5.
+    #[test]
+    fn numerical_force_error_in_paper_decade() {
+        let sys = water_system(150, 9);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys);
+        let mut out = RawForces::zeroed(sys.n_atoms());
+        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+
+        // f64 evaluation of the same interaction set with the same (exact)
+        // kernels and same positions.
+        let pos = state.decode_positions(&sys.pbox);
+        let mut f64_forces = vec![Vec3::ZERO; sys.n_atoms()];
+        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + 0.2);
+        grid.for_each_pair_within(&pos, sys.params.cutoff + 0.2, |i, j, _d, _r2| {
+            let top = &sys.topology;
+            if top.exclusions.is_excluded(i as u32, j as u32) {
+                return;
+            }
+            let d = state.delta_q20(pipe.half_edge_q20, i, j);
+            let sum: i128 = d[0] as i128 * d[0] as i128
+                + d[1] as i128 * d[1] as i128
+                + d[2] as i128 * d[2] as i128;
+            let r2q = anton_fixpoint::rne_shr_i128(sum, 20);
+            if r2q > pipe.rc2_q20 || r2q == 0 {
+                return;
+            }
+            let ds = 1.0 / (1i64 << 20) as f64;
+            let r2 = (d[0] as f64 * ds).powi(2)
+                + (d[1] as f64 * ds).powi(2)
+                + (d[2] as f64 * ds).powi(2);
+            let qq = top.charge[i] * top.charge[j];
+            let (a, b) = top.lj_table.coeffs(top.lj_type[i], top.lj_type[j]);
+            let (f_over_r, _e) = pipe.ppip.pair_exact(r2, qq, a, b);
+            let dv = Vec3::new(d[0] as f64 * ds, d[1] as f64 * ds, d[2] as f64 * ds);
+            f64_forces[i] += dv * f_over_r;
+            f64_forces[j] -= dv * f_over_r;
+        });
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..sys.n_atoms() {
+            num += (out.force_f64(i) - f64_forces[i]).norm2();
+            den += f64_forces[i].norm2();
+        }
+        let rel = (num / den).sqrt();
+        assert!(rel < 1e-4, "numerical force error {rel:e}");
+        assert!(rel > 1e-9, "suspiciously exact {rel:e}");
+    }
+}
+
+#[cfg(test)]
+mod virial_tests {
+    use super::*;
+    use anton_forcefield::{LjTable, Topology};
+    use anton_geometry::PeriodicBox;
+    use anton_systems::spec::RunParams;
+
+    /// Two LJ atoms: the virial must equal r·F of the single pair.
+    #[test]
+    fn virial_of_single_pair_matches_r_dot_f() {
+        let pbox = PeriodicBox::cubic(20.0);
+        let top = Topology {
+            mass: vec![39.9; 2],
+            charge: vec![0.3, -0.3],
+            lj_type: vec![0; 2],
+            lj_table: LjTable::from_types(&[(3.4, 0.24)]),
+            molecule_starts: vec![0, 1, 2],
+            ..Default::default()
+        };
+        let positions = vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(8.6, 5.0, 5.0)];
+        let sys = System {
+            name: "pair".into(),
+            pbox,
+            topology: top,
+            positions: positions.clone(),
+            params: RunParams::paper(7.0, 16),
+        };
+        let state = FixedState::from_f64(&pbox, &positions, &[Vec3::ZERO; 2]);
+        let pipe = ForcePipeline::new(&sys);
+        let mut out = RawForces::zeroed(2);
+        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+        let f0 = out.force_f64(0);
+        // r (from 0 to ... sign convention: d = r_i − r_j with force on i
+        // along d) → W = d·F_i counted once.
+        let d = pbox.min_image(positions[0], positions[1]);
+        let want = d.dot(f0);
+        let got = out.virial_f64();
+        assert!((got - want).abs() < 1e-4 * want.abs().max(1.0), "{got} vs {want}");
+    }
+
+    /// The virial inherits parallel invariance from its wide accumulator.
+    #[test]
+    fn virial_is_decomposition_invariant() {
+        use anton_forcefield::water::TIP3P;
+        use anton_systems::waterbox::pure_water_topology;
+        let pbox = PeriodicBox::cubic(18.0);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, 100, 13);
+        let sys = System {
+            name: "w".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.5, 16),
+        };
+        let state =
+            FixedState::from_f64(&pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()]);
+        let pipe = ForcePipeline::new(&sys);
+        let mut a = RawForces::zeroed(sys.n_atoms());
+        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut a);
+        let mut b = RawForces::zeroed(sys.n_atoms());
+        pipe.range_limited(&sys, &state, Decomposition::Nodes(8), &mut b);
+        assert_eq!(a.virial, b.virial);
+        assert_ne!(a.virial, anton_fixpoint::Wide::ZERO);
+    }
+}

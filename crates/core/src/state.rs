@@ -1,0 +1,231 @@
+//! Fixed-point simulation state.
+
+use anton_fixpoint::{Fx32, FxVec3, Q20};
+use anton_geometry::{PeriodicBox, Vec3};
+
+/// Fraction bits of velocity raw values (Å/fs).
+pub const VEL_FRAC: u32 = 40;
+/// Fraction bits of force raw values (kcal/mol/Å).
+pub const FORCE_FRAC: u32 = 24;
+/// Fraction bits of energy raw values (kcal/mol).
+pub const ENERGY_FRAC: u32 = 32;
+
+/// The complete dynamic state: per-axis box-fraction positions ([`FxVec3`],
+/// whose two's-complement wrap *is* the periodic boundary condition) and
+/// Q40 velocities. All mutation happens through quantized, odd-symmetric
+/// updates, so the state evolves identically regardless of decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedState {
+    pub positions: Vec<FxVec3>,
+    /// Velocity raw values, Q40 Å/fs per axis.
+    pub velocities: Vec<[i64; 3]>,
+}
+
+impl FixedState {
+    /// Quantize f64 positions/velocities onto the fixed grids.
+    pub fn from_f64(pbox: &PeriodicBox, positions: &[Vec3], velocities: &[Vec3]) -> FixedState {
+        assert_eq!(positions.len(), velocities.len());
+        let e = pbox.edge();
+        let positions = positions
+            .iter()
+            .map(|p| {
+                let w = pbox.wrap(*p);
+                FxVec3::from_unit_frac([w.x / e.x, w.y / e.y, w.z / e.z])
+            })
+            .collect();
+        let scale = (1i64 << VEL_FRAC) as f64;
+        let velocities = velocities
+            .iter()
+            .map(|v| {
+                [
+                    anton_fixpoint::rounding::rne_f64(v.x * scale) as i64,
+                    anton_fixpoint::rounding::rne_f64(v.y * scale) as i64,
+                    anton_fixpoint::rounding::rne_f64(v.z * scale) as i64,
+                ]
+            })
+            .collect();
+        FixedState { positions, velocities }
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Exact Cartesian decode of one position (deterministic).
+    #[inline]
+    pub fn decode_position(&self, pbox: &PeriodicBox, i: usize) -> Vec3 {
+        let e = pbox.edge();
+        let f = self.positions[i].to_unit_frac();
+        Vec3::new(f[0] * e.x, f[1] * e.y, f[2] * e.z)
+    }
+
+    /// All positions decoded to Cartesian f64 (for neighbor search and
+    /// kernel interiors; every decode is exact and order-independent).
+    pub fn decode_positions(&self, pbox: &PeriodicBox) -> Vec<Vec3> {
+        (0..self.n_atoms()).map(|i| self.decode_position(pbox, i)).collect()
+    }
+
+    /// Velocity of atom `i` in Å/fs.
+    #[inline]
+    pub fn velocity_f64(&self, i: usize) -> Vec3 {
+        let s = 1.0 / (1i64 << VEL_FRAC) as f64;
+        Vec3::new(
+            self.velocities[i][0] as f64 * s,
+            self.velocities[i][1] as f64 * s,
+            self.velocities[i][2] as f64 * s,
+        )
+    }
+
+    /// Negate every velocity exactly (the paper's reversibility experiment).
+    pub fn negate_velocities(&mut self) {
+        for v in self.velocities.iter_mut() {
+            v[0] = v[0].wrapping_neg();
+            v[1] = v[1].wrapping_neg();
+            v[2] = v[2].wrapping_neg();
+        }
+    }
+
+    /// Fixed-point minimum-image displacement `i − j` in Q20 Å, given the
+    /// box half-edges pre-quantized to Q20.
+    #[inline]
+    pub fn delta_q20(&self, half_edge_q20: [Q20; 3], i: usize, j: usize) -> [i64; 3] {
+        let d = self.positions[i].wrapping_sub(self.positions[j]);
+        let v: anton_fixpoint::QVec3<20> = d.frac_to_len(half_edge_q20);
+        [v.0[0].raw(), v.0[1].raw(), v.0[2].raw()]
+    }
+
+    /// Overwrite a position from a freshly computed fraction (virtual sites).
+    #[inline]
+    pub fn set_position_frac(&mut self, i: usize, frac: [f64; 3]) {
+        self.positions[i] = FxVec3::from_unit_frac(frac);
+    }
+
+    /// Apply a quantized position increment (drift), wrapping periodically.
+    #[inline]
+    pub fn drift(&mut self, i: usize, d_frac_raw: [i64; 3]) {
+        let p = &mut self.positions[i];
+        p.0[0] = p.0[0].wrapping_add(Fx32(d_frac_raw[0] as i32));
+        p.0[1] = p.0[1].wrapping_add(Fx32(d_frac_raw[1] as i32));
+        p.0[2] = p.0[2].wrapping_add(Fx32(d_frac_raw[2] as i32));
+    }
+}
+
+impl FixedState {
+    /// Serialize the exact raw state (for bit-exact checkpoints: restoring
+    /// and continuing reproduces the uninterrupted trajectory bitwise —
+    /// a direct corollary of the engine's determinism).
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let n = self.n_atoms();
+        let mut buf = bytes::BytesMut::with_capacity(8 + n * (12 + 24));
+        buf.put_u64_le(n as u64);
+        for p in &self.positions {
+            for a in p.0 {
+                buf.put_i32_le(a.raw());
+            }
+        }
+        for v in &self.velocities {
+            for c in v {
+                buf.put_i64_le(*c);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restore from [`Self::to_bytes`] output. Returns `None` on malformed
+    /// input.
+    pub fn from_bytes(mut data: bytes::Bytes) -> Option<FixedState> {
+        use bytes::Buf;
+        if data.remaining() < 8 {
+            return None;
+        }
+        let n = data.get_u64_le() as usize;
+        if data.remaining() != n * (12 + 24) {
+            return None;
+        }
+        let mut positions = Vec::with_capacity(n);
+        for _ in 0..n {
+            positions.push(FxVec3([
+                Fx32(data.get_i32_le()),
+                Fx32(data.get_i32_le()),
+                Fx32(data.get_i32_le()),
+            ]));
+        }
+        let mut velocities = Vec::with_capacity(n);
+        for _ in 0..n {
+            velocities.push([data.get_i64_le(), data.get_i64_le(), data.get_i64_le()]);
+        }
+        Some(FixedState { positions, velocities })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact() {
+        let pbox = PeriodicBox::cubic(12.0);
+        let st = FixedState::from_f64(
+            &pbox,
+            &[Vec3::new(1.0, 2.0, 3.0), Vec3::new(11.9, 0.1, 6.0)],
+            &[Vec3::new(0.01, -0.02, 0.003), Vec3::new(-0.001, 0.0, 0.07)],
+        );
+        let restored = FixedState::from_bytes(st.to_bytes()).unwrap();
+        assert_eq!(restored, st);
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed() {
+        assert!(FixedState::from_bytes(bytes::Bytes::from_static(&[1, 2, 3])).is_none());
+        let st = FixedState::from_f64(
+            &PeriodicBox::cubic(5.0),
+            &[Vec3::new(1.0, 1.0, 1.0)],
+            &[Vec3::ZERO],
+        );
+        let mut truncated = st.to_bytes().to_vec();
+        truncated.pop();
+        assert!(FixedState::from_bytes(bytes::Bytes::from(truncated)).is_none());
+    }
+
+    #[test]
+    fn roundtrip_positions() {
+        let pbox = PeriodicBox::cubic(40.0);
+        let pos = vec![Vec3::new(1.0, 20.0, 39.5), Vec3::new(0.0, 0.0, 0.0)];
+        let vel = vec![Vec3::new(0.001, -0.002, 0.0); 2];
+        let st = FixedState::from_f64(&pbox, &pos, &vel);
+        for (i, p) in pos.iter().enumerate() {
+            let d = (st.decode_position(&pbox, i) - *p).norm();
+            assert!(d < 40.0 * Fx32::EPSILON * 2.0, "decode error {d}");
+        }
+        assert!((st.velocity_f64(0).x - 0.001).abs() < 1e-11);
+    }
+
+    #[test]
+    fn negation_is_exact_involution() {
+        let pbox = PeriodicBox::cubic(10.0);
+        let st0 = FixedState::from_f64(
+            &pbox,
+            &[Vec3::new(1.0, 2.0, 3.0)],
+            &[Vec3::new(0.013, -0.007, 0.001)],
+        );
+        let mut st = st0.clone();
+        st.negate_velocities();
+        st.negate_velocities();
+        assert_eq!(st, st0);
+    }
+
+    #[test]
+    fn delta_wraps_minimum_image() {
+        let pbox = PeriodicBox::cubic(20.0);
+        let st = FixedState::from_f64(
+            &pbox,
+            &[Vec3::new(19.5, 0.0, 0.0), Vec3::new(0.5, 0.0, 0.0)],
+            &[Vec3::ZERO; 2],
+        );
+        let he = [Q20::from_f64(10.0); 3];
+        let d = st.delta_q20(he, 0, 1);
+        let dx = d[0] as f64 / (1i64 << 20) as f64;
+        assert!((dx + 1.0).abs() < 1e-4, "dx = {dx}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Brute-force Ewald references.
+//!
+//! Ground truth for the mesh methods: the reciprocal-space sum evaluated
+//! directly over k-vectors (O(K·N), fine for test-sized systems), and a
+//! complete small-system Ewald evaluation validated against the NaCl
+//! Madelung constant.
+
+use anton_forcefield::units::{erfc, COULOMB};
+use anton_geometry::{PeriodicBox, Vec3};
+
+/// Direct evaluation of the Ewald reciprocal sum (including the self
+/// interaction, i.e. the bare k-space sum):
+/// `E = (1/2V) Σ_{k≠0} (4π/k²) e^{-k²/4β²} |S(k)|²` with
+/// `S(k) = Σ q_i e^{ik·r_i}`. Adds forces into `forces`, returns the energy.
+///
+/// `kmax` is the per-axis integer frequency bound.
+pub fn ewald_kspace(
+    pbox: &PeriodicBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    beta: f64,
+    kmax: i32,
+    forces: &mut [Vec3],
+) -> f64 {
+    let e = pbox.edge();
+    let v = pbox.volume();
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut energy = 0.0;
+
+    for nx in -kmax..=kmax {
+        for ny in -kmax..=kmax {
+            for nz in -kmax..=kmax {
+                if nx == 0 && ny == 0 && nz == 0 {
+                    continue;
+                }
+                let k = Vec3::new(
+                    two_pi * nx as f64 / e.x,
+                    two_pi * ny as f64 / e.y,
+                    two_pi * nz as f64 / e.z,
+                );
+                let k2 = k.norm2();
+                let a = 4.0 * std::f64::consts::PI / k2 * (-k2 / (4.0 * beta * beta)).exp();
+                if a < 1e-16 {
+                    continue;
+                }
+                // Structure factor.
+                let mut s_re = 0.0;
+                let mut s_im = 0.0;
+                for (p, &q) in positions.iter().zip(charges) {
+                    let phase = k.dot(*p);
+                    s_re += q * phase.cos();
+                    s_im += q * phase.sin();
+                }
+                energy += 0.5 / v * a * (s_re * s_re + s_im * s_im) * COULOMB;
+                // F_i = -(q_i/V) a [sin(k·r_i) S_re - cos(k·r_i) S_im] k.
+                for (i, (p, &q)) in positions.iter().zip(charges).enumerate() {
+                    let phase = k.dot(*p);
+                    let coeff =
+                        q / v * a * (phase.sin() * s_re - phase.cos() * s_im) * COULOMB;
+                    forces[i] += k * coeff;
+                }
+            }
+        }
+    }
+    energy
+}
+
+/// Complete Ewald energy of a small neutral system: accurate direct space
+/// (minimum image, cutoff < L/2) + exact reciprocal sum − self energy.
+/// Returns `(energy, forces)`.
+pub fn ewald_total(
+    pbox: &PeriodicBox,
+    positions: &[Vec3],
+    charges: &[f64],
+    beta: f64,
+    cutoff: f64,
+    kmax: i32,
+) -> (f64, Vec<Vec3>) {
+    let n = positions.len();
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut energy = ewald_kspace(pbox, positions, charges, beta, kmax, &mut forces);
+    // Self energy.
+    energy -= COULOMB * beta / std::f64::consts::PI.sqrt()
+        * charges.iter().map(|q| q * q).sum::<f64>();
+    // Direct space.
+    let c2 = cutoff * cutoff;
+    let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = pbox.min_image(positions[i], positions[j]);
+            let r2 = d.norm2();
+            if r2 > c2 {
+                continue;
+            }
+            let r = r2.sqrt();
+            let x = beta * r;
+            let qq = charges[i] * charges[j];
+            energy += COULOMB * qq * erfc(x) / r;
+            let f_over_r =
+                COULOMB * qq * (erfc(x) / r + two_over_sqrt_pi * beta * (-x * x).exp()) / r2;
+            forces[i] += d * f_over_r;
+            forces[j] -= d * f_over_r;
+        }
+    }
+    (energy, forces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rock-salt NaCl Madelung constant: 1.747565.
+    #[test]
+    fn nacl_madelung_constant() {
+        // 4×4×4 ions of alternating charge, nearest-neighbor distance 1 Å.
+        let n_side = 4;
+        let pbox = PeriodicBox::cubic(n_side as f64);
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        for z in 0..n_side {
+            for y in 0..n_side {
+                for x in 0..n_side {
+                    pos.push(Vec3::new(x as f64, y as f64, z as f64));
+                    q.push(if (x + y + z) % 2 == 0 { 1.0 } else { -1.0 });
+                }
+            }
+        }
+        let beta = 1.8;
+        let (energy, forces) = ewald_total(&pbox, &pos, &q, beta, 1.95, 14);
+        // E_total = N · (−M · k · q² / r₀) / 2 per ion... total lattice
+        // energy for N ions: N/2 ion pairs ⇒ E = −(N/2)·M·k.
+        let n_ions = pos.len() as f64;
+        let madelung = -energy / (n_ions / 2.0 * COULOMB);
+        assert!(
+            (madelung - 1.747_565).abs() < 1e-4,
+            "Madelung constant came out as {madelung}"
+        );
+        // Perfect lattice: zero force on every ion by symmetry.
+        for f in &forces {
+            assert!(f.norm() < 1e-8, "nonzero lattice force {f:?}");
+        }
+    }
+
+    #[test]
+    fn energy_is_beta_independent() {
+        // The Ewald total must not depend on the splitting parameter.
+        let pbox = PeriodicBox::cubic(10.0);
+        let pos = vec![
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(3.2, 1.4, 1.1),
+            Vec3::new(7.0, 8.0, 2.0),
+            Vec3::new(4.0, 6.0, 8.5),
+        ];
+        let q = vec![1.0, -1.0, 0.5, -0.5];
+        let (e1, f1) = ewald_total(&pbox, &pos, &q, 0.9, 4.9, 12);
+        let (e2, f2) = ewald_total(&pbox, &pos, &q, 1.3, 4.9, 16);
+        assert!((e1 - e2).abs() < 1e-5 * e1.abs(), "{e1} vs {e2}");
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((*a - *b).norm() < 1e-4, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn kspace_force_is_gradient() {
+        let pbox = PeriodicBox::cubic(8.0);
+        let mut pos = vec![
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(5.0, 1.0, 6.0),
+            Vec3::new(2.5, 6.5, 1.5),
+            Vec3::new(6.0, 5.0, 4.0),
+        ];
+        let q = vec![0.8, -0.8, 0.4, -0.4];
+        let beta = 0.8;
+        let mut f = vec![Vec3::ZERO; 4];
+        ewald_kspace(&pbox, &pos, &q, beta, 10, &mut f);
+        let h = 1e-6;
+        for i in 0..4 {
+            for ax in 0..3 {
+                pos[i][ax] += h;
+                let mut t = vec![Vec3::ZERO; 4];
+                let ep = ewald_kspace(&pbox, &pos, &q, beta, 10, &mut t);
+                pos[i][ax] -= 2.0 * h;
+                let mut t2 = vec![Vec3::ZERO; 4];
+                let em = ewald_kspace(&pbox, &pos, &q, beta, 10, &mut t2);
+                pos[i][ax] += h;
+                let num = -(ep - em) / (2.0 * h);
+                assert!(
+                    (f[i][ax] - num).abs() < 1e-4 * (1.0 + num.abs()),
+                    "atom {i} ax {ax}: {} vs {num}",
+                    f[i][ax]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Mesh and k-vector bookkeeping shared by the mesh-Ewald methods.
+
+use anton_geometry::{PeriodicBox, Vec3};
+
+/// A regular mesh over a periodic box, x-fastest storage
+/// (`index(x,y,z) = x + nx (y + ny z)`).
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    pub dims: [usize; 3],
+    pub pbox: PeriodicBox,
+}
+
+impl Mesh {
+    pub fn new(dims: [usize; 3], pbox: PeriodicBox) -> Mesh {
+        assert!(dims.iter().all(|&d| d.is_power_of_two()), "mesh dims must be powers of two");
+        Mesh { dims, pbox }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mesh spacing per axis (Å).
+    #[inline]
+    pub fn spacing(&self) -> Vec3 {
+        let e = self.pbox.edge();
+        Vec3::new(e.x / self.dims[0] as f64, e.y / self.dims[1] as f64, e.z / self.dims[2] as f64)
+    }
+
+    /// Volume per mesh cell (Å³).
+    #[inline]
+    pub fn cell_volume(&self) -> f64 {
+        let s = self.spacing();
+        s.x * s.y * s.z
+    }
+
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        x + self.dims[0] * (y + self.dims[1] * z)
+    }
+
+    /// Cartesian position of a mesh point.
+    #[inline]
+    pub fn point(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        let s = self.spacing();
+        Vec3::new(x as f64 * s.x, y as f64 * s.y, z as f64 * s.z)
+    }
+
+    /// Physical wave vector of FFT bin `(kx, ky, kz)` using the minimum-image
+    /// frequency convention (components in `(-π/h, π/h]`).
+    #[inline]
+    pub fn wave_vector(&self, kx: usize, ky: usize, kz: usize) -> Vec3 {
+        let e = self.pbox.edge();
+        let fold = |k: usize, n: usize| -> f64 {
+            let k = k as i64;
+            let n = n as i64;
+            (if k <= n / 2 { k } else { k - n }) as f64
+        };
+        Vec3::new(
+            2.0 * std::f64::consts::PI * fold(kx, self.dims[0]) / e.x,
+            2.0 * std::f64::consts::PI * fold(ky, self.dims[1]) / e.y,
+            2.0 * std::f64::consts::PI * fold(kz, self.dims[2]) / e.z,
+        )
+    }
+
+    /// The mesh-point index range an atom at `pos` touches within `reach` Å
+    /// along one `axis`, returned as (start_cell, count); indices need
+    /// wrapping by the caller.
+    #[inline]
+    pub fn support(&self, pos: f64, reach: f64, axis: usize) -> (i64, usize) {
+        let h = match axis {
+            0 => self.spacing().x,
+            1 => self.spacing().y,
+            _ => self.spacing().z,
+        };
+        let lo = ((pos - reach) / h).ceil() as i64;
+        let hi = ((pos + reach) / h).floor() as i64;
+        (lo, (hi - lo + 1).max(0) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_vector_folding() {
+        let m = Mesh::new([8, 8, 8], PeriodicBox::cubic(16.0));
+        let k0 = m.wave_vector(0, 0, 0);
+        assert_eq!(k0, Vec3::ZERO);
+        let k1 = m.wave_vector(1, 0, 0);
+        assert!((k1.x - 2.0 * std::f64::consts::PI / 16.0).abs() < 1e-15);
+        // Bin 7 of 8 folds to -1.
+        let k7 = m.wave_vector(7, 0, 0);
+        assert!((k7.x + 2.0 * std::f64::consts::PI / 16.0).abs() < 1e-15);
+        // Nyquist bin stays positive.
+        let k4 = m.wave_vector(4, 0, 0);
+        assert!(k4.x > 0.0);
+    }
+
+    #[test]
+    fn support_covers_reach() {
+        let m = Mesh::new([32, 32, 32], PeriodicBox::cubic(32.0));
+        // h = 1 Å; atom at 10.3 with reach 2 → cells 9..=12.
+        let (lo, n) = m.support(10.3, 2.0, 0);
+        assert_eq!(lo, 9);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn cell_volume() {
+        let m = Mesh::new([32, 32, 32], PeriodicBox::cubic(64.0));
+        assert!((m.cell_volume() - 8.0).abs() < 1e-12);
+        assert_eq!(m.len(), 32768);
+    }
+}

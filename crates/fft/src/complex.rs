@@ -1,0 +1,83 @@
+//! Minimal complex arithmetic (no external dependency).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in double precision.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}

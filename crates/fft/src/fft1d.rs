@@ -1,0 +1,159 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two lengths.
+
+use crate::Complex;
+
+/// A reusable 1D FFT plan (twiddle factors precomputed once).
+#[derive(Clone, Debug)]
+pub struct Fft1d {
+    n: usize,
+    log2n: u32,
+    /// Twiddles for the forward transform: `w[j] = e^{-2πi j / n}` for
+    /// `j < n/2`.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl Fft1d {
+    pub fn new(n: usize) -> Fft1d {
+        assert!(n.is_power_of_two() && n >= 1, "FFT length must be a power of two, got {n}");
+        let log2n = n.trailing_zeros();
+        let twiddles = (0..n / 2)
+            .map(|j| Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - log2n.max(1)) as u32)
+            .map(|i| if n == 1 { 0 } else { i })
+            .collect();
+        Fft1d { n, log2n, twiddles, bitrev }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT: `X_k = Σ_n x_n e^{-2πi nk/N}`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT including the 1/N factor:
+    /// `x_n = (1/N) Σ_k X_k e^{+2πi nk/N}`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.transform(data, true);
+        let s = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(s);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex], inverse: bool) {
+        assert_eq!(data.len(), self.n);
+        if self.n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2usize;
+        while len <= self.n {
+            let half = len / 2;
+            let stride = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let w = if inverse { w.conj() } else { w };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        let _ = self.log2n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut s = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    s += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        for &n in &[1usize, 2, 4, 8, 32, 64, 128] {
+            let x: Vec<Complex> =
+                (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+            let mut got = x.clone();
+            Fft1d::new(n).forward(&mut got);
+            let want = naive_dft(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).norm2() < 1e-18 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let n = 64;
+        let x: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let plan = Fft1d::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).norm2() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let n = 32;
+        let x: Vec<Complex> =
+            (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let mut y = x.clone();
+        Fft1d::new(n).forward(&mut y);
+        let time: f64 = x.iter().map(|v| v.norm2()).sum();
+        let freq: f64 = y.iter().map(|v| v.norm2()).sum::<f64>() / n as f64;
+        assert!((time - freq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let n = 16;
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::ONE;
+        Fft1d::new(n).forward(&mut x);
+        for v in &x {
+            assert!((*v - Complex::ONE).norm2() < 1e-24);
+        }
+    }
+}

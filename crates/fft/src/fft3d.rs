@@ -1,0 +1,177 @@
+//! 3D FFT as three passes of 1D transforms.
+
+use crate::{Complex, Fft1d};
+
+/// A 3D FFT plan over an `nx × ny × nz` grid stored x-fastest:
+/// `index(x, y, z) = x + nx * (y + ny * z)`.
+#[derive(Clone, Debug)]
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    px: Fft1d,
+    py: Fft1d,
+    pz: Fft1d,
+}
+
+impl Fft3d {
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Fft3d {
+        Fft3d { nx, ny, nz, px: Fft1d::new(nx), py: Fft1d::new(ny), pz: Fft1d::new(nz) }
+    }
+
+    pub fn cubic(n: usize) -> Fft3d {
+        Fft3d::new(n, n, n)
+    }
+
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.pass_all(data, true);
+    }
+
+    /// Inverse including the global 1/(nx·ny·nz) factor.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.pass_all(data, false);
+    }
+
+    fn pass_all(&self, data: &mut [Complex], fwd: bool) {
+        assert_eq!(data.len(), self.len());
+        let mut line = vec![Complex::ZERO; self.nx.max(self.ny).max(self.nz)];
+        // X lines.
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                let base = self.index(0, y, z);
+                line[..self.nx].copy_from_slice(&data[base..base + self.nx]);
+                if fwd {
+                    self.px.forward(&mut line[..self.nx]);
+                } else {
+                    self.px.inverse(&mut line[..self.nx]);
+                }
+                data[base..base + self.nx].copy_from_slice(&line[..self.nx]);
+            }
+        }
+        // Y lines.
+        for z in 0..self.nz {
+            for x in 0..self.nx {
+                for y in 0..self.ny {
+                    line[y] = data[self.index(x, y, z)];
+                }
+                if fwd {
+                    self.py.forward(&mut line[..self.ny]);
+                } else {
+                    self.py.inverse(&mut line[..self.ny]);
+                }
+                for y in 0..self.ny {
+                    data[self.index(x, y, z)] = line[y];
+                }
+            }
+        }
+        // Z lines.
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                for z in 0..self.nz {
+                    line[z] = data[self.index(x, y, z)];
+                }
+                if fwd {
+                    self.pz.forward(&mut line[..self.nz]);
+                } else {
+                    self.pz.inverse(&mut line[..self.nz]);
+                }
+                for z in 0..self.nz {
+                    data[self.index(x, y, z)] = line[z];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_3d() {
+        let plan = Fft3d::new(8, 4, 16);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let x: Vec<Complex> = (0..plan.len())
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).norm2() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn plane_wave_transforms_to_delta() {
+        let n = 8;
+        let plan = Fft3d::cubic(n);
+        let (kx, ky, kz) = (2usize, 3, 5);
+        let mut data = vec![Complex::ZERO; plan.len()];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (kx * x + ky * y + kz * z) as f64
+                        / n as f64;
+                    data[plan.index(x, y, z)] = Complex::cis(phase);
+                }
+            }
+        }
+        plan.forward(&mut data);
+        let total = plan.len() as f64;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let v = data[plan.index(x, y, z)];
+                    if (x, y, z) == (kx, ky, kz) {
+                        assert!((v.re - total).abs() < 1e-9 && v.im.abs() < 1e-9);
+                    } else {
+                        assert!(v.norm2() < 1e-16, "leak at ({x},{y},{z}): {v:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum() {
+        let plan = Fft3d::cubic(8);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let mut data: Vec<Complex> =
+            (0..plan.len()).map(|_| Complex::new(rng.gen::<f64>() - 0.5, 0.0)).collect();
+        plan.forward(&mut data);
+        let n = 8;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let a = data[plan.index(x, y, z)];
+                    let b = data[plan.index((n - x) % n, (n - y) % n, (n - z) % n)];
+                    assert!((a - b.conj()).norm2() < 1e-18);
+                }
+            }
+        }
+    }
+}

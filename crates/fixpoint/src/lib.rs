@@ -1,0 +1,80 @@
+//! Fixed-point arithmetic in the style of the Anton ASIC.
+//!
+//! Anton performs essentially all of its molecular-dynamics arithmetic in
+//! signed fixed point (SC'09, Section 4). A `B`-bit signed fixed-point number
+//! represents one of `2^B` evenly spaced reals in `[-1, 1)`. Compared with
+//! floating point this buys two things the paper leans on heavily:
+//!
+//! 1. **Associativity.** Wrapping two's-complement addition is associative and
+//!    commutative, so the order in which force contributions are summed cannot
+//!    change the result. This is the root cause of Anton's *determinism* and
+//!    *parallel invariance* (bitwise-identical trajectories on any node
+//!    count), both of which this workspace demonstrates in its test suite.
+//! 2. **Wrap-tolerance.** Sums are correct as long as the *final* value is
+//!    representable, even if intermediate partial sums wrap (paper
+//!    footnote 2). The classic example — in 4-bit arithmetic `3/8 + 7/8`
+//!    wraps to `-3/4`, yet adding `-5/8` recovers the true sum `5/8` — is a
+//!    unit test in this crate.
+//!
+//! The crate provides:
+//!
+//! * [`Fx32`] — a 32-bit fraction in `[-1, 1)`. Atom positions are stored
+//!   per-axis as `Fx32` *fractions of the periodic box*, so two's-complement
+//!   wraparound implements periodic boundary conditions and a wrapping
+//!   subtraction is the minimum-image convention.
+//! * [`Q`] — a 64-bit Q-format value with a const-generic number of fraction
+//!   bits, used for displacements (Q20 Å), squared distances (Q20 Å²), forces
+//!   (Q24 kcal/mol/Å), energies (Q32 kcal/mol) and velocities (Q40 Å/fs).
+//! * [`Wide`] — a 128-bit accumulator standing in for Anton's 86-bit virial
+//!   accumulators (paper Figure 4c).
+//! * Rounding primitives implementing the ASIC's round-to-nearest/even rule
+//!   (paper Figure 4 caption), which is odd-symmetric — a property the exact
+//!   time-reversibility of the integrator depends on.
+
+pub mod fxvec;
+pub mod q;
+pub mod rounding;
+
+mod fx32;
+
+pub use fx32::Fx32;
+pub use fxvec::{FxVec3, QVec3};
+pub use q::{Q, Q16, Q20, Q24, Q32, Q40, Wide};
+pub use rounding::{rne_shr_i128, rne_shr_i64};
+
+/// Fraction bits used for displacements and squared distances in Å / Å².
+pub const LEN_FRAC: u32 = 20;
+/// Fraction bits used for force components in kcal/mol/Å.
+pub const FORCE_FRAC: u32 = 24;
+/// Fraction bits used for energies in kcal/mol.
+pub const ENERGY_FRAC: u32 = 32;
+/// Fraction bits used for velocities in Å/fs.
+pub const VEL_FRAC: u32 = 40;
+
+#[cfg(test)]
+mod tests {
+
+    /// Paper footnote 2: in 4-bit arithmetic (values k/8 for k in -8..8),
+    /// 3/8 + 7/8 wraps to -3/4, but adding -5/8 still yields 5/8 in any
+    /// order of operations.
+    #[test]
+    fn four_bit_wrap_example() {
+        // Model 4-bit two's complement with i8 confined to -8..8 (units of 1/8).
+        fn add4(a: i8, b: i8) -> i8 {
+            let s = (a + b) & 0xf;
+            if s >= 8 {
+                s - 16
+            } else {
+                s
+            }
+        }
+        let (a, b, c) = (3i8, 7, -5); // 3/8, 7/8, -5/8
+        let wrap_first = add4(add4(a, b), c);
+        let other_order = add4(add4(a, c), b);
+        let third_order = add4(add4(b, c), a);
+        assert_eq!(add4(a, b), -6, "3/8 + 7/8 wraps to -3/4");
+        assert_eq!(wrap_first, 5, "final sum is the true 5/8");
+        assert_eq!(other_order, 5);
+        assert_eq!(third_order, 5);
+    }
+}

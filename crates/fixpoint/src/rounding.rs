@@ -1,0 +1,128 @@
+//! Round-to-nearest/even shift primitives.
+//!
+//! All rounding on the Anton ASIC uses a round-to-nearest/even rule (paper
+//! Figure 4 caption). The functions here implement that rule for arithmetic
+//! right shifts, which is how every fixed-point multiply and rescale in this
+//! workspace discards fraction bits.
+//!
+//! Round-to-nearest/even is *odd-symmetric*: `rne(-x) == -rne(x)`. The exact
+//! time-reversibility demonstrated by the paper (negate all velocities, run
+//! backwards, recover the initial state bit-for-bit) requires the integrator's
+//! position and velocity increments to negate exactly, which this symmetry
+//! provides.
+
+/// Arithmetic right shift of `x` by `n` bits with round-to-nearest/even.
+///
+/// For `n == 0` this is the identity. `n` must be < 64.
+#[inline]
+pub fn rne_shr_i64(x: i64, n: u32) -> i64 {
+    debug_assert!(n < 64);
+    if n == 0 {
+        return x;
+    }
+    let q = x >> n; // floor division by 2^n
+    let rem = x - (q << n); // in [0, 2^n)
+    let half = 1i64 << (n - 1);
+    if rem > half || (rem == half && (q & 1) == 1) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Arithmetic right shift of a 128-bit intermediate with round-to-nearest/even,
+/// truncated into `i64`.
+///
+/// The caller is responsible for choosing scales such that the rounded result
+/// fits in 64 bits; in debug builds an overflow panics, in release builds it
+/// wraps (mirroring the ASIC's wrap-tolerant accumulation).
+#[inline]
+pub fn rne_shr_i128(x: i128, n: u32) -> i64 {
+    debug_assert!(n < 128);
+    if n == 0 {
+        return x as i64;
+    }
+    let q = x >> n;
+    let rem = x - (q << n);
+    let half = 1i128 << (n - 1);
+    let rounded = if rem > half || (rem == half && (q & 1) == 1) {
+        q + 1
+    } else {
+        q
+    };
+    debug_assert!(
+        rounded >= i64::MIN as i128 && rounded <= i64::MAX as i128,
+        "rne_shr_i128 overflow: {rounded}"
+    );
+    rounded as i64
+}
+
+/// Round an `f64` to the nearest integer, ties to even (IEEE `roundTiesToEven`).
+///
+/// Used only at the boundary between floating-point setup code and the
+/// fixed-point simulation state; never inside the deterministic core.
+#[inline]
+pub fn rne_f64(x: f64) -> f64 {
+    // f64::round() rounds half away from zero; adjust exact-half cases.
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && (r as i64) % 2 != 0 {
+        r - (r - x).signum()
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rne_shr_basic() {
+        // 5/2 = 2.5 -> 2 (even); 7/2 = 3.5 -> 4 (even); 3/2 = 1.5 -> 2.
+        assert_eq!(rne_shr_i64(5, 1), 2);
+        assert_eq!(rne_shr_i64(7, 1), 4);
+        assert_eq!(rne_shr_i64(3, 1), 2);
+        assert_eq!(rne_shr_i64(4, 1), 2);
+    }
+
+    #[test]
+    fn rne_shr_negative_symmetry() {
+        for x in -1000i64..1000 {
+            for n in 1..8u32 {
+                assert_eq!(
+                    rne_shr_i64(-x, n),
+                    -rne_shr_i64(x, n),
+                    "odd symmetry violated for x={x} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rne_shr_matches_f64_rounding() {
+        for x in -4096i64..4096 {
+            let got = rne_shr_i64(x, 4);
+            let want = rne_f64(x as f64 / 16.0) as i64;
+            assert_eq!(got, want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rne_shr_i128_agrees_with_i64() {
+        for x in -5000i64..5000 {
+            for n in 1..10u32 {
+                assert_eq!(rne_shr_i128(x as i128, n), rne_shr_i64(x, n));
+            }
+        }
+    }
+
+    #[test]
+    fn rne_f64_ties_to_even() {
+        assert_eq!(rne_f64(0.5), 0.0);
+        assert_eq!(rne_f64(1.5), 2.0);
+        assert_eq!(rne_f64(2.5), 2.0);
+        assert_eq!(rne_f64(-0.5), 0.0);
+        assert_eq!(rne_f64(-1.5), -2.0);
+        assert_eq!(rne_f64(-2.5), -2.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bonded force terms: harmonic bonds, harmonic angles, periodic dihedrals.
+//!
+//! On Anton these run on the geometry cores of the flexible subsystem with
+//! each term statically assigned to a GC (paper §3.2.3); in this workspace
+//! the same functional forms serve both engines. All forces are validated
+//! against numerical gradients in the tests below.
+
+use crate::topology::{Angle, Bond, Dihedral, Topology};
+use anton_geometry::{PeriodicBox, Vec3};
+
+/// Energy and forces of one harmonic bond; returns `(U, F_i, F_j)`.
+pub fn bond_term(pbox: &PeriodicBox, pos: &[Vec3], b: &Bond) -> (f64, Vec3, Vec3) {
+    let d = pbox.min_image(pos[b.i as usize], pos[b.j as usize]);
+    let r = d.norm();
+    let dr = r - b.r0;
+    let u = b.k * dr * dr;
+    // F_i = -dU/dr_i = -2k (r - r0) d̂.
+    let f = if r > 1e-12 { d * (-2.0 * b.k * dr / r) } else { Vec3::ZERO };
+    (u, f, -f)
+}
+
+/// Energy and forces of one harmonic angle; returns `(U, F_i, F_j, F_k)`.
+pub fn angle_term(pbox: &PeriodicBox, pos: &[Vec3], a: &Angle) -> (f64, Vec3, Vec3, Vec3) {
+    let va = pbox.min_image(pos[a.i as usize], pos[a.j as usize]);
+    let vb = pbox.min_image(pos[a.k_atom as usize], pos[a.j as usize]);
+    let (la, lb) = (va.norm(), vb.norm());
+    let (ua, ub) = (va / la, vb / lb);
+    let c = ua.dot(ub).clamp(-1.0, 1.0);
+    let theta = c.acos();
+    let s = (1.0 - c * c).sqrt().max(1e-8);
+    let dtheta = theta - a.theta0;
+    let u = a.k * dtheta * dtheta;
+    let dudtheta = 2.0 * a.k * dtheta;
+    // dθ/dr_i = -(û_b - c û_a) / (l_a sinθ); F = -dU/dθ · dθ/dr.
+    let f_i = (ub - ua * c) * (dudtheta / (la * s));
+    let f_k = (ua - ub * c) * (dudtheta / (lb * s));
+    let f_j = -f_i - f_k;
+    (u, f_i, f_j, f_k)
+}
+
+/// Signed dihedral angle φ for atoms i-j-k-l and its energy/forces;
+/// returns `(U, F_i, F_j, F_k, F_l)`.
+pub fn dihedral_term(
+    pbox: &PeriodicBox,
+    pos: &[Vec3],
+    d: &Dihedral,
+) -> (f64, Vec3, Vec3, Vec3, Vec3) {
+    let b1 = pbox.min_image(pos[d.j as usize], pos[d.i as usize]);
+    let b2 = pbox.min_image(pos[d.k_atom as usize], pos[d.j as usize]);
+    let b3 = pbox.min_image(pos[d.l as usize], pos[d.k_atom as usize]);
+    let n1 = b1.cross(b2);
+    let n2 = b2.cross(b3);
+    let lb2 = b2.norm();
+    let phi = (n1.cross(n2).dot(b2) / lb2).atan2(n1.dot(n2));
+    let arg = d.n as f64 * phi - d.phi0;
+    let u = d.k * (1.0 + arg.cos());
+    let dudphi = -d.k * d.n as f64 * arg.sin();
+
+    let n1sq = n1.norm2().max(1e-12);
+    let n2sq = n2.norm2().max(1e-12);
+    // dφ/dr_i = -(|b2|/|n1|²) n1 ; dφ/dr_l = +(|b2|/|n2|²) n2.
+    let dphi_dri = n1 * (-lb2 / n1sq);
+    let dphi_drl = n2 * (lb2 / n2sq);
+    let su = b1.dot(b2) / (lb2 * lb2);
+    let tv = b3.dot(b2) / (lb2 * lb2);
+    let dphi_drj = dphi_dri * (-1.0 - su) + dphi_drl * tv;
+    let dphi_drk = -dphi_dri - dphi_drj - dphi_drl;
+
+    (
+        u,
+        dphi_dri * -dudphi,
+        dphi_drj * -dudphi,
+        dphi_drk * -dudphi,
+        dphi_drl * -dudphi,
+    )
+}
+
+/// The signed dihedral angle alone (radians), for analysis code.
+pub fn dihedral_angle(pbox: &PeriodicBox, pos: &[Vec3], i: u32, j: u32, k: u32, l: u32) -> f64 {
+    let b1 = pbox.min_image(pos[j as usize], pos[i as usize]);
+    let b2 = pbox.min_image(pos[k as usize], pos[j as usize]);
+    let b3 = pbox.min_image(pos[l as usize], pos[k as usize]);
+    let n1 = b1.cross(b2);
+    let n2 = b2.cross(b3);
+    (n1.cross(n2).dot(b2) / b2.norm()).atan2(n1.dot(n2))
+}
+
+/// Accumulate all bonded terms of a topology into a force array; returns the
+/// total bonded potential energy.
+pub fn accumulate_bonded(
+    pbox: &PeriodicBox,
+    pos: &[Vec3],
+    top: &Topology,
+    forces: &mut [Vec3],
+) -> f64 {
+    let mut energy = 0.0;
+    for b in &top.bonds {
+        let (u, fi, fj) = bond_term(pbox, pos, b);
+        energy += u;
+        forces[b.i as usize] += fi;
+        forces[b.j as usize] += fj;
+    }
+    for a in &top.angles {
+        let (u, fi, fj, fk) = angle_term(pbox, pos, a);
+        energy += u;
+        forces[a.i as usize] += fi;
+        forces[a.j as usize] += fj;
+        forces[a.k_atom as usize] += fk;
+    }
+    for d in &top.dihedrals {
+        let (u, fi, fj, fk, fl) = dihedral_term(pbox, pos, d);
+        energy += u;
+        forces[d.i as usize] += fi;
+        forces[d.j as usize] += fj;
+        forces[d.k_atom as usize] += fk;
+        forces[d.l as usize] += fl;
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: f64 = 1e-6;
+
+    fn numerical_forces(
+        pbox: &PeriodicBox,
+        pos: &[Vec3],
+        energy: impl Fn(&[Vec3]) -> f64,
+    ) -> Vec<Vec3> {
+        let _ = pbox;
+        let mut out = vec![Vec3::ZERO; pos.len()];
+        let mut p = pos.to_vec();
+        for i in 0..pos.len() {
+            for ax in 0..3 {
+                p[i][ax] += H;
+                let up = energy(&p);
+                p[i][ax] -= 2.0 * H;
+                let um = energy(&p);
+                p[i][ax] += H;
+                out[i][ax] = -(up - um) / (2.0 * H);
+            }
+        }
+        out
+    }
+
+    fn assert_forces_close(got: &[Vec3], want: &[Vec3], tol: f64) {
+        for (g, w) in got.iter().zip(want) {
+            assert!((*g - *w).norm() < tol, "force mismatch: {g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn bond_force_matches_gradient() {
+        let pbox = PeriodicBox::cubic(50.0);
+        let pos = vec![Vec3::new(10.0, 10.0, 10.0), Vec3::new(11.3, 10.4, 9.8)];
+        let b = Bond { i: 0, j: 1, r0: 1.09, k: 340.0 };
+        let (_, fi, fj) = bond_term(&pbox, &pos, &b);
+        let num = numerical_forces(&pbox, &pos, |p| bond_term(&pbox, p, &b).0);
+        assert_forces_close(&[fi, fj], &num, 1e-4);
+    }
+
+    #[test]
+    fn angle_force_matches_gradient() {
+        let pbox = PeriodicBox::cubic(50.0);
+        let pos = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(11.0, 10.2, 9.9),
+            Vec3::new(11.8, 11.1, 10.5),
+        ];
+        let a = Angle { i: 0, j: 1, k_atom: 2, theta0: 1.9, k: 50.0 };
+        let (_, fi, fj, fk) = angle_term(&pbox, &pos, &a);
+        let num = numerical_forces(&pbox, &pos, |p| angle_term(&pbox, p, &a).0);
+        assert_forces_close(&[fi, fj, fk], &num, 1e-4);
+    }
+
+    #[test]
+    fn dihedral_force_matches_gradient() {
+        let pbox = PeriodicBox::cubic(50.0);
+        let pos = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(11.2, 10.3, 10.1),
+            Vec3::new(11.9, 11.4, 10.9),
+            Vec3::new(13.1, 11.5, 11.8),
+        ];
+        for n in 1..=3u32 {
+            let d = Dihedral { i: 0, j: 1, k_atom: 2, l: 3, n, phi0: 0.6, k: 2.5 };
+            let (_, fi, fj, fk, fl) = dihedral_term(&pbox, &pos, &d);
+            let num = numerical_forces(&pbox, &pos, |p| dihedral_term(&pbox, p, &d).0);
+            assert_forces_close(&[fi, fj, fk, fl], &num, 1e-4);
+        }
+    }
+
+    #[test]
+    fn dihedral_forces_are_translation_and_torque_free() {
+        let pbox = PeriodicBox::cubic(50.0);
+        let pos = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(11.2, 10.3, 10.1),
+            Vec3::new(11.9, 11.4, 10.9),
+            Vec3::new(13.1, 11.5, 11.8),
+        ];
+        let d = Dihedral { i: 0, j: 1, k_atom: 2, l: 3, n: 2, phi0: 0.3, k: 1.7 };
+        let (_, fi, fj, fk, fl) = dihedral_term(&pbox, &pos, &d);
+        let net = fi + fj + fk + fl;
+        assert!(net.norm() < 1e-10, "net force {net:?}");
+        let torque = pos[0].cross(fi) + pos[1].cross(fj) + pos[2].cross(fk) + pos[3].cross(fl);
+        assert!(torque.norm() < 1e-9, "net torque {torque:?}");
+    }
+
+    #[test]
+    fn trans_dihedral_angle_is_pi() {
+        let pbox = PeriodicBox::cubic(50.0);
+        // Planar zig-zag (trans): φ = ±π.
+        let pos = vec![
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 1.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        ];
+        let phi = dihedral_angle(&pbox, &pos, 0, 1, 2, 3);
+        assert!((phi.abs() - std::f64::consts::PI).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn cis_dihedral_angle_is_zero() {
+        let pbox = PeriodicBox::cubic(50.0);
+        let pos = vec![
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 1.0, 0.0),
+        ];
+        let phi = dihedral_angle(&pbox, &pos, 0, 1, 2, 3);
+        assert!(phi.abs() < 1e-12, "phi = {phi}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Unit system and physical constants.
+//!
+//! The workspace uses the conventional MD academic units: lengths in Å,
+//! energies in kcal/mol, masses in amu (g/mol), charges in units of the
+//! elementary charge, and time in fs.
+
+/// Coulomb constant in kcal·Å/(mol·e²).
+pub const COULOMB: f64 = 332.063_71;
+
+/// Boltzmann constant in kcal/(mol·K).
+pub const KB: f64 = 0.001_987_204_1;
+
+/// Conversion from (kcal/mol/Å) / amu to acceleration in Å/fs².
+pub const ACCEL: f64 = 4.184e-4;
+
+/// One day in femtoseconds; used when converting step rates to the paper's
+/// µs/day performance metric.
+pub const DAY_FS: f64 = 86_400.0e15;
+
+/// Convert a wall-clock seconds-per-step and a time step in fs into the
+/// paper's simulated-µs-per-day rate (1 µs = 1e9 fs).
+pub fn us_per_day(seconds_per_step: f64, dt_fs: f64) -> f64 {
+    let steps_per_day = 86_400.0 / seconds_per_step;
+    steps_per_day * dt_fs * 1e-9
+}
+
+/// Complementary error function in double precision (~1e-15 relative),
+/// via a Taylor series below 2 and a continued fraction above. Used by the
+/// Ewald kernels and by splitting-parameter selection.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.0 {
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        for n in 1..200 {
+            term *= -x2 / n as f64;
+            let add = term / (2 * n + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-18 * sum.abs() {
+                break;
+            }
+        }
+        1.0 - 2.0 / std::f64::consts::PI.sqrt() * sum
+    } else {
+        let x2 = x * x;
+        let mut cf = 0.0;
+        for k in (1..60).rev() {
+            cf = 0.5 * k as f64 / (x + cf);
+        }
+        (-x2).exp() / (std::f64::consts::PI.sqrt() * (x + cf))
+    }
+}
+
+/// Error function, `erf(x) = 1 - erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_per_day_matches_paper_example() {
+        // DHFR on Anton: 13.2 µs wall per 2.5 fs step -> 16.4 µs/day.
+        let rate = us_per_day(13.17e-6, 2.5);
+        assert!((rate - 16.4).abs() < 0.1, "rate = {rate}");
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-14);
+        assert!((erfc(1.0) - 0.157_299_207).abs() < 1e-8);
+        assert!((erfc(2.0) - 0.004_677_735).abs() < 1e-9);
+        assert!((erfc(3.0) - 2.209_05e-5).abs() < 1e-9);
+        assert!((erfc(-1.0) - (2.0 - 0.157_299_207)).abs() < 1e-8);
+        assert!((erf(0.5) - 0.520_499_878).abs() < 1e-8);
+    }
+
+    #[test]
+    fn accel_constant_sanity() {
+        // A 1 kcal/mol/Å force on a hydrogen (1.008 amu) accelerates it by
+        // ~4.15e-4 Å/fs².
+        let a = 1.0 / 1.008 * ACCEL;
+        assert!((a - 4.15e-4).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Rigid water models: TIP3P and TIP4P-Ew.
+//!
+//! The paper's Table 4 systems use rigid TIP3P water; the millisecond BPTI
+//! simulation (§5.3) uses the four-site TIP4P-Ew model, whose fourth particle
+//! ("M" site) carries the oxygen charge at a point displaced along the HOH
+//! bisector and is treated computationally as an atom.
+
+use crate::topology::{ConstraintGroup, VirtualSite};
+use anton_geometry::Vec3;
+
+/// Parameters of a rigid 3- or 4-site water model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaterModel {
+    /// O–H bond length (Å).
+    pub r_oh: f64,
+    /// H–O–H angle (radians).
+    pub theta_hoh: f64,
+    /// LJ σ on oxygen (Å).
+    pub sigma_o: f64,
+    /// LJ ε on oxygen (kcal/mol).
+    pub eps_o: f64,
+    /// Hydrogen charge (e).
+    pub q_h: f64,
+    /// Charge carried by oxygen (TIP3P) or the M site (TIP4P-Ew).
+    pub q_neg: f64,
+    /// O→M distance along the bisector (Å); zero for 3-site models.
+    pub d_om: f64,
+    /// Sites per molecule (3 or 4).
+    pub sites: usize,
+}
+
+/// TIP3P (Jorgensen 1983), as used for the Table 4 protein systems.
+pub const TIP3P: WaterModel = WaterModel {
+    r_oh: 0.9572,
+    theta_hoh: 1.824_218, // 104.52°
+    sigma_o: 3.15061,
+    eps_o: 0.1521,
+    q_h: 0.417,
+    q_neg: -0.834,
+    d_om: 0.0,
+    sites: 3,
+};
+
+/// TIP4P-Ew (Horn et al. 2004), as used for the BPTI millisecond run.
+pub const TIP4P_EW: WaterModel = WaterModel {
+    r_oh: 0.9572,
+    theta_hoh: 1.824_218,
+    sigma_o: 3.16435,
+    eps_o: 0.16275,
+    q_h: 0.52422,
+    q_neg: -1.04844,
+    d_om: 0.125,
+    sites: 4,
+};
+
+pub const MASS_O: f64 = 15.9994;
+pub const MASS_H: f64 = 1.008;
+
+impl WaterModel {
+    /// Distance from O to the midpoint of the two hydrogens in the rigid
+    /// geometry.
+    pub fn bisector_len(&self) -> f64 {
+        self.r_oh * (self.theta_hoh / 2.0).cos()
+    }
+
+    /// The virtual-site fraction γ such that `r_M = r_O + γ (mid(H,H) − r_O)`.
+    pub fn vsite_gamma(&self) -> f64 {
+        if self.d_om == 0.0 {
+            0.0
+        } else {
+            self.d_om / self.bisector_len()
+        }
+    }
+
+    /// H–H distance implied by the rigid geometry.
+    pub fn r_hh(&self) -> f64 {
+        2.0 * self.r_oh * (self.theta_hoh / 2.0).sin()
+    }
+
+    /// Site positions for a molecule centered at `o_pos` with the bisector
+    /// along `dir` (unit) and the HH axis along `perp` (unit, ⊥ dir):
+    /// `[O, H1, H2]` or `[O, H1, H2, M]`.
+    pub fn place(&self, o_pos: Vec3, dir: Vec3, perp: Vec3) -> Vec<Vec3> {
+        let half = self.theta_hoh / 2.0;
+        let along = self.r_oh * half.cos();
+        let aside = self.r_oh * half.sin();
+        let h1 = o_pos + dir * along + perp * aside;
+        let h2 = o_pos + dir * along - perp * aside;
+        let mut sites = vec![o_pos, h1, h2];
+        if self.sites == 4 {
+            sites.push(o_pos + dir * self.d_om);
+        }
+        sites
+    }
+
+    /// Rigid constraints for one molecule whose sites start at `base`:
+    /// two O–H distances plus the H–H distance.
+    pub fn constraint_group(&self, base: u32) -> ConstraintGroup {
+        ConstraintGroup {
+            pairs: vec![
+                (base, base + 1, self.r_oh),
+                (base, base + 2, self.r_oh),
+                (base + 1, base + 2, self.r_hh()),
+            ],
+        }
+    }
+
+    /// Virtual-site descriptor for one TIP4P molecule at `base` (O, H1, H2, M).
+    pub fn virtual_site(&self, base: u32) -> Option<VirtualSite> {
+        (self.sites == 4).then(|| VirtualSite {
+            site: base + 3,
+            a: base,
+            b: base + 1,
+            c: base + 2,
+            gamma: self.vsite_gamma(),
+        })
+    }
+}
+
+/// Recompute a virtual site position from its parents.
+pub fn vsite_position(v: &VirtualSite, pos: &[Vec3]) -> Vec3 {
+    let ra = pos[v.a as usize];
+    let mid = (pos[v.b as usize] + pos[v.c as usize]) * 0.5;
+    ra + (mid - ra) * v.gamma
+}
+
+/// Redistribute the force accumulated on a massless virtual site onto its
+/// parents (the exact transpose of the position projection, so energy is
+/// conserved).
+pub fn vsite_spread_force(v: &VirtualSite, forces: &mut [Vec3]) {
+    let f = forces[v.site as usize];
+    forces[v.site as usize] = Vec3::ZERO;
+    forces[v.a as usize] += f * (1.0 - v.gamma);
+    forces[v.b as usize] += f * (v.gamma * 0.5);
+    forces[v.c as usize] += f * (v.gamma * 0.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tip3p_is_neutral() {
+        assert!((TIP3P.q_neg + 2.0 * TIP3P.q_h).abs() < 1e-12);
+        assert!((TIP4P_EW.q_neg + 2.0 * TIP4P_EW.q_h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tip4p_gamma_matches_reference() {
+        // d_OM = 0.125 Å over a bisector of ~0.5861 Å → γ ≈ 0.2133.
+        let g = TIP4P_EW.vsite_gamma();
+        assert!((g - 0.2133).abs() < 1e-3, "gamma = {g}");
+    }
+
+    #[test]
+    fn placed_geometry_satisfies_model() {
+        let m = TIP3P;
+        let s = m.place(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(s.len(), 3);
+        assert!(((s[1] - s[0]).norm() - m.r_oh).abs() < 1e-12);
+        assert!(((s[2] - s[0]).norm() - m.r_oh).abs() < 1e-12);
+        assert!(((s[1] - s[2]).norm() - m.r_hh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vsite_position_on_bisector() {
+        let m = TIP4P_EW;
+        let s = m.place(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let v = m.virtual_site(0).unwrap();
+        let computed = vsite_position(&v, &s);
+        assert!((computed - s[3]).norm() < 1e-12);
+        assert!((computed - Vec3::new(0.0, m.d_om, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn vsite_force_spread_preserves_total() {
+        let m = TIP4P_EW;
+        let v = m.virtual_site(0).unwrap();
+        let mut forces = vec![
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(2.0, -1.0, 0.5),
+        ];
+        let total_before = forces.iter().fold(Vec3::ZERO, |a, &b| a + b);
+        vsite_spread_force(&v, &mut forces);
+        let total_after = forces.iter().fold(Vec3::ZERO, |a, &b| a + b);
+        assert!((total_before - total_after).norm() < 1e-12);
+        assert_eq!(forces[3], Vec3::ZERO);
+    }
+}

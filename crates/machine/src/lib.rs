@@ -1,0 +1,33 @@
+//! A model of the Anton machine (paper §2.2, §3, §4).
+//!
+//! Anton's headline results come from an ASIC whose subsystems this crate
+//! models at two levels:
+//!
+//! * **Functional** — bit-level models of the numerically relevant datapaths:
+//!   the PPIP's tiered, block-floating-point, piecewise-cubic function
+//!   evaluators ([`tables`], [`ppip`]) fit with the Remez exchange algorithm
+//!   exactly as the paper describes, and the match units' low-precision
+//!   distance check. The Anton engine (`anton-core`) computes its
+//!   range-limited forces through these models.
+//! * **Performance** — a calibrated cycle/communication accounting model
+//!   ([`perf`]) of a full time step: HTIS pipelines and match units, the
+//!   torus links ([`topology`]), the distributed FFT traffic, the geometry
+//!   cores and correction pipeline ([`flex`]). Free constants are calibrated
+//!   against a single column of the paper's Table 2 (see DESIGN.md §6);
+//!   everything else is prediction.
+
+pub mod config;
+pub mod flex;
+pub mod htis;
+pub mod perf;
+pub mod ppip;
+pub mod ring;
+pub mod tables;
+pub mod topology;
+
+pub use config::MachineConfig;
+pub use htis::{HtisRun, HtisSim};
+pub use perf::{PerfModel, StepBreakdown, SystemStats};
+pub use ppip::{MatchUnit, Ppip};
+pub use ring::{Ring, Station};
+pub use tables::{FunctionTable, TableSpec};

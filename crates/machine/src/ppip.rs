@@ -1,0 +1,257 @@
+//! Pairwise point interaction pipelines and match units (paper §2.2, §3.2.1,
+//! Figure 4).
+//!
+//! A PPIP computes the interaction of two points as table-driven functions
+//! of r². [`Ppip`] bundles the fitted force/energy tables for the Ewald
+//! direct-space Coulomb kernel and the two Lennard-Jones powers; the Anton
+//! engine evaluates every range-limited pair through this model, so the
+//! engine's force field *is* the quantized piecewise-cubic one — which is
+//! what Table 4's "numerical force error" measures.
+//!
+//! [`MatchUnit`] models the 8-bit low-precision distance check
+//! (Figure 4b): conservative — it may pass a pair beyond the cutoff (the
+//! exact r² test downstream rejects it) but never rejects a true pair.
+
+use crate::tables::{FunctionTable, TableSpec};
+use anton_forcefield::units::{erfc, COULOMB};
+
+/// Fraction bits of the r² values handed to the PPIP (Q20 Å²).
+pub const R2_FRAC: u32 = 20;
+
+/// A PPIP bound to an Ewald splitting parameter and cutoff.
+#[derive(Clone, Debug)]
+pub struct Ppip {
+    /// Table domain scale: u = r² / r2_max, with r2_max slightly above rc².
+    pub r2_max: f64,
+    pub beta: f64,
+    pub cutoff: f64,
+    /// Force tables: scalar such that F = d · table(u) (per unit charge
+    /// product / LJ coefficient). Electrostatic table excludes the Coulomb
+    /// constant (applied at evaluation, as the charge product is).
+    pub f_elec: FunctionTable,
+    pub f12: FunctionTable,
+    pub f6: FunctionTable,
+    /// Energy tables.
+    pub e_elec: FunctionTable,
+    pub e12: FunctionTable,
+    pub e6: FunctionTable,
+    /// u below which the kernels are clamped (pairs never get this close).
+    pub u_clamp_elec: f64,
+    pub u_clamp_vdw: f64,
+    inv_r2max_q31: f64,
+}
+
+impl Ppip {
+    /// Build tables for the erfc-screened Coulomb and LJ kernels.
+    pub fn build(beta: f64, cutoff: f64) -> Ppip {
+        let r2_max = (cutoff * cutoff) * 1.05;
+        // Geometric tier ladder (w/u ≤ 1/32 in every segment): the steep
+        // power-law kernels need relative, not absolute, resolution in r².
+        let spec = TableSpec::geometric(8, 32);
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+
+        // Clamp radii: real nonbonded pairs never approach closer than the
+        // steepest LJ contact; the tables hold the clamped value below.
+        // Clamp points snap to segment boundaries so the kink never falls
+        // inside one cubic fit.
+        let r_min_elec: f64 = 0.5;
+        let r_min_vdw: f64 = 1.4;
+        let u_clamp_elec = spec.snap_down((r_min_elec * r_min_elec) / r2_max);
+        let u_clamp_vdw = spec.snap_down((r_min_vdw * r_min_vdw) / r2_max);
+
+        let r_of = move |u: f64, uc: f64| (u.max(uc) * r2_max).sqrt();
+        let f_elec_fn = move |u: f64| {
+            let r = r_of(u, u_clamp_elec);
+            let x = beta * r;
+            (erfc(x) / r + two_over_sqrt_pi * beta * (-x * x).exp()) / (r * r)
+        };
+        let e_elec_fn = move |u: f64| {
+            let r = r_of(u, u_clamp_elec);
+            erfc(beta * r) / r
+        };
+        let f12_fn = move |u: f64| {
+            let r2 = u.max(u_clamp_vdw) * r2_max;
+            12.0 / (r2 * r2 * r2 * r2 * r2 * r2 * r2)
+        };
+        let e12_fn = move |u: f64| {
+            let r2 = u.max(u_clamp_vdw) * r2_max;
+            1.0 / (r2 * r2 * r2 * r2 * r2 * r2)
+        };
+        let f6_fn = move |u: f64| {
+            let r2 = u.max(u_clamp_vdw) * r2_max;
+            6.0 / (r2 * r2 * r2 * r2)
+        };
+        let e6_fn = move |u: f64| {
+            let r2 = u.max(u_clamp_vdw) * r2_max;
+            1.0 / (r2 * r2 * r2)
+        };
+
+        Ppip {
+            r2_max,
+            beta,
+            cutoff,
+            f_elec: FunctionTable::fit(f_elec_fn, spec.clone()),
+            f12: FunctionTable::fit(f12_fn, spec.clone()),
+            f6: FunctionTable::fit(f6_fn, spec.clone()),
+            e_elec: FunctionTable::fit(e_elec_fn, spec.clone()),
+            e12: FunctionTable::fit(e12_fn, spec.clone()),
+            e6: FunctionTable::fit(e6_fn, spec),
+            u_clamp_elec,
+            u_clamp_vdw,
+            inv_r2max_q31: (1i64 << 31) as f64 / (r2_max * (1i64 << R2_FRAC) as f64),
+        }
+    }
+
+    /// Convert a Q20 r² raw value to the Q31 table coordinate
+    /// (deterministic: one rounded multiply).
+    #[inline]
+    pub fn u_q31(&self, r2_q20: i64) -> i64 {
+        anton_fixpoint::rounding::rne_f64(r2_q20 as f64 * self.inv_r2max_q31) as i64
+    }
+
+    /// Table-driven `(force/r, energy)` of one range-limited pair:
+    /// `F⃗ = d⃗ · force_over_r`. Deterministic for given raw inputs.
+    #[inline]
+    pub fn pair(&self, r2_q20: i64, qq: f64, lj_a: f64, lj_b: f64) -> (f64, f64) {
+        let u = self.u_q31(r2_q20).clamp(0, (1i64 << 31) - 1);
+        let f = COULOMB * qq * self.f_elec.eval_fixed_f64(u) + lj_a * self.f12.eval_fixed_f64(u)
+            - lj_b * self.f6.eval_fixed_f64(u);
+        let e = COULOMB * qq * self.e_elec.eval_fixed_f64(u) + lj_a * self.e12.eval_fixed_f64(u)
+            - lj_b * self.e6.eval_fixed_f64(u);
+        (f, e)
+    }
+
+    /// Exact (double-precision) kernels with the same clamping, for error
+    /// measurements against the table path.
+    pub fn pair_exact(&self, r2: f64, qq: f64, lj_a: f64, lj_b: f64) -> (f64, f64) {
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+        let re2 = r2.max(self.u_clamp_elec * self.r2_max);
+        let r = re2.sqrt();
+        let x = self.beta * r;
+        let f_c = (erfc(x) / r + two_over_sqrt_pi * self.beta * (-x * x).exp()) / re2;
+        let e_c = erfc(x) / r;
+        let rv2 = r2.max(self.u_clamp_vdw * self.r2_max);
+        let inv6 = 1.0 / (rv2 * rv2 * rv2);
+        let f = COULOMB * qq * f_c + lj_a * 12.0 * inv6 * inv6 / rv2 - lj_b * 6.0 * inv6 / rv2;
+        let e = COULOMB * qq * e_c + lj_a * inv6 * inv6 - lj_b * inv6;
+        (f, e)
+    }
+}
+
+/// Low-precision distance check (one of 256 per ASIC, Figure 4b).
+#[derive(Clone, Copy, Debug)]
+pub struct MatchUnit {
+    pub cutoff: f64,
+    /// Low-precision coordinate grid (Å); 8 bits cover ±32 Å at 0.25 Å.
+    pub grid: f64,
+}
+
+impl MatchUnit {
+    pub fn new(cutoff: f64) -> MatchUnit {
+        MatchUnit { cutoff, grid: 0.25 }
+    }
+
+    /// Conservative pass/fail on a displacement: quantizes each component
+    /// toward zero (a lower bound on the true distance), so a pair within
+    /// the cutoff always passes.
+    #[inline]
+    pub fn passes(&self, d: [f64; 3]) -> bool {
+        let lb = |x: f64| (x.abs() / self.grid).floor() * self.grid;
+        let r2_lb = lb(d[0]).powi(2) + lb(d[1]).powi(2) + lb(d[2]).powi(2);
+        r2_lb <= self.cutoff * self.cutoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn table_force_tracks_exact_kernel() {
+        let ppip = Ppip::build(0.24, 13.0);
+        let mut worst: f64 = 0.0;
+        for i in 0..4000 {
+            let r = 2.0 + 11.0 * (i as f64 + 0.5) / 4000.0;
+            let r2 = r * r;
+            let r2_q20 = (r2 * (1i64 << 20) as f64) as i64;
+            let (f_t, e_t) = ppip.pair(r2_q20, 0.3, 5.0e5, 600.0);
+            let (f_x, e_x) = ppip.pair_exact(r2, 0.3, 5.0e5, 600.0);
+            let scale = f_x.abs().max(1.0);
+            worst = worst.max((f_t - f_x).abs() / scale);
+            assert!((e_t - e_x).abs() < 1e-3 * e_x.abs().max(1.0), "r={r}");
+        }
+        assert!(worst < 1e-4, "worst relative force deviation {worst:e}");
+    }
+
+    #[test]
+    fn rms_force_error_near_paper_numerical_error() {
+        // The paper's "numerical force error" is ~9e-6 of the rms force;
+        // our table path should land in the same decade.
+        let ppip = Ppip::build(0.24, 13.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let mut err2 = 0.0;
+        let mut norm2 = 0.0;
+        for _ in 0..20_000 {
+            let r = 2.4 + rng.gen::<f64>() * 10.0;
+            let r2 = r * r;
+            let qq = (rng.gen::<f64>() - 0.5) * 0.6;
+            let a = rng.gen::<f64>() * 8e5;
+            let b = rng.gen::<f64>() * 1.2e3;
+            let r2_q20 = (r2 * (1i64 << 20) as f64) as i64;
+            let (f_t, _) = ppip.pair(r2_q20, qq, a, b);
+            let (f_x, _) = ppip.pair_exact(r2, qq, a, b);
+            err2 += ((f_t - f_x) * r).powi(2);
+            norm2 += (f_x * r).powi(2);
+        }
+        let rel = (err2 / norm2).sqrt();
+        assert!(rel < 5e-5, "rms relative force error {rel:e}");
+        assert!(rel > 1e-9, "suspiciously exact: {rel:e}");
+    }
+
+    #[test]
+    fn match_unit_never_rejects_true_pairs() {
+        let mu = MatchUnit::new(9.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for _ in 0..50_000 {
+            let d = [
+                (rng.gen::<f64>() - 0.5) * 26.0,
+                (rng.gen::<f64>() - 0.5) * 26.0,
+                (rng.gen::<f64>() - 0.5) * 26.0,
+            ];
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 <= 81.0 {
+                assert!(mu.passes(d), "rejected in-range pair at r²={r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn match_unit_rejects_far_pairs() {
+        let mu = MatchUnit::new(9.0);
+        // Far beyond cutoff + quantization margin.
+        assert!(!mu.passes([9.5, 2.0, 0.0]));
+        assert!(!mu.passes([6.0, 6.0, 6.0]));
+        // Just inside passes.
+        assert!(mu.passes([5.0, 5.0, 5.0]));
+    }
+
+    #[test]
+    fn match_unit_false_accept_band_is_thin() {
+        // Pairs accepted but beyond the cutoff must lie within the
+        // quantization margin (~0.44 Å for a 0.25 Å grid).
+        let mu = MatchUnit::new(9.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        for _ in 0..50_000 {
+            let d = [
+                (rng.gen::<f64>() - 0.5) * 26.0,
+                (rng.gen::<f64>() - 0.5) * 26.0,
+                (rng.gen::<f64>() - 0.5) * 26.0,
+            ];
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if mu.passes(d) {
+                assert!(r < 9.0 + 0.5, "accepted pair at r={r}");
+            }
+        }
+    }
+}

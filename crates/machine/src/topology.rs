@@ -1,0 +1,106 @@
+//! The 3D torus interconnect (paper §2.2).
+//!
+//! Six 50.6 Gbit/s channels per ASIC, tens-of-nanoseconds hop latency, and
+//! efficient 4-byte messages — the properties that make the NT method's many
+//! small messages and the distributed FFT viable (§3.2).
+
+use crate::config::MachineConfig;
+use anton_geometry::IVec3;
+
+/// Torus routing/geometry helper.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus {
+    pub dims: [usize; 3],
+}
+
+impl Torus {
+    pub fn new(dims: [usize; 3]) -> Torus {
+        assert!(dims.iter().all(|&d| d >= 1));
+        Torus { dims }
+    }
+
+    pub fn from_config(cfg: &MachineConfig) -> Torus {
+        Torus::new(cfg.torus)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Minimal per-axis hop distance on the ring.
+    #[inline]
+    fn axis_hops(&self, a: i32, b: i32, dim: usize) -> u32 {
+        let d = (a - b).rem_euclid(dim as i32) as u32;
+        d.min(dim as u32 - d)
+    }
+
+    /// Dimension-order routing hop count between two nodes.
+    pub fn hops(&self, a: IVec3, b: IVec3) -> u32 {
+        self.axis_hops(a.x, b.x, self.dims[0])
+            + self.axis_hops(a.y, b.y, self.dims[1])
+            + self.axis_hops(a.z, b.z, self.dims[2])
+    }
+
+    /// Network diameter (maximum hop count).
+    pub fn diameter(&self) -> u32 {
+        (self.dims[0] as u32 / 2) + (self.dims[1] as u32 / 2) + (self.dims[2] as u32 / 2)
+    }
+
+    /// Average hop count over all destination nodes (uniform traffic).
+    pub fn mean_hops(&self) -> f64 {
+        let mean_axis = |d: usize| -> f64 {
+            (0..d).map(|k| (k.min(d - k)) as f64).sum::<f64>() / d as f64
+        };
+        mean_axis(self.dims[0]) + mean_axis(self.dims[1]) + mean_axis(self.dims[2])
+    }
+
+    /// Depth of a multicast tree reaching every node within `range` boxes on
+    /// each axis (the NT import multicast, §3.2.1): bounded by the farthest
+    /// destination.
+    pub fn multicast_depth(&self, range: [u32; 3]) -> u32 {
+        range[0].min(self.dims[0] as u32 / 2)
+            + range[1].min(self.dims[1] as u32 / 2)
+            + range[2].min(self.dims[2] as u32 / 2)
+    }
+
+    /// Time to push `bytes` through one node's links plus the wire latency
+    /// of `hops` hops.
+    pub fn transfer_time_s(&self, cfg: &MachineConfig, bytes: f64, hops: u32) -> f64 {
+        bytes / cfg.node_bandwidth_bytes() + hops as f64 * cfg.hop_latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_counts_wrap() {
+        let t = Torus::new([8, 8, 8]);
+        assert_eq!(t.hops(IVec3::new(0, 0, 0), IVec3::new(7, 0, 0)), 1);
+        assert_eq!(t.hops(IVec3::new(0, 0, 0), IVec3::new(4, 4, 4)), 12);
+        assert_eq!(t.diameter(), 12);
+    }
+
+    #[test]
+    fn mean_hops_sane() {
+        let t = Torus::new([8, 8, 8]);
+        // Per axis mean = (0+1+2+3+4+3+2+1)/8 = 2.0 → 6.0 total.
+        assert!((t.mean_hops() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_depth_clamps() {
+        let t = Torus::new([4, 4, 4]);
+        assert_eq!(t.multicast_depth([10, 1, 0]), 2 + 1);
+    }
+
+    #[test]
+    fn transfer_time_orders_of_magnitude() {
+        let cfg = MachineConfig::anton_512();
+        let t = Torus::from_config(&cfg);
+        // 6 kB over ~38 GB/s plus 3 hops ≈ 0.3 µs.
+        let s = t.transfer_time_s(&cfg, 6000.0, 3);
+        assert!(s > 0.1e-6 && s < 1e-6, "{s}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Import-region geometry (paper Figure 3).
+//!
+//! All regions are described for a cubic home box of side `b` with cutoff
+//! radius `r`, in the home box's local coordinates (home box = `[0,b)³`).
+//! Analytic volumes are cross-validated against voxel integration in tests.
+
+use anton_geometry::{voxel, Vec3};
+
+/// Analytic and predicate forms of the competing import regions.
+#[derive(Clone, Copy, Debug)]
+pub struct ImportRegions {
+    /// Home box side length (Å).
+    pub b: f64,
+    /// Cutoff radius (Å).
+    pub r: f64,
+}
+
+impl ImportRegions {
+    pub fn new(b: f64, r: f64) -> ImportRegions {
+        assert!(b > 0.0 && r > 0.0);
+        ImportRegions { b, r }
+    }
+
+    /// Distance from a point to the home box footprint `[0,b]²` in xy.
+    fn xy_dist(&self, p: Vec3) -> f64 {
+        let dx = (-p.x).max(0.0).max(p.x - self.b);
+        let dy = (-p.y).max(0.0).max(p.y - self.b);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// NT tower import predicate: the home-box column extended ±r in z,
+    /// excluding the home box itself (Figure 3a, vertical bar).
+    pub fn nt_tower(&self, p: Vec3) -> bool {
+        let in_footprint = p.x >= 0.0 && p.x < self.b && p.y >= 0.0 && p.y < self.b;
+        let in_column = p.z >= -self.r && p.z < self.b + self.r;
+        let in_home = p.z >= 0.0 && p.z < self.b;
+        in_footprint && in_column && !in_home
+    }
+
+    /// NT plate import predicate: the half-neighborhood of the home box in
+    /// its own z-layer (Figure 3a, horizontal slab). The "half" is the side
+    /// with x beyond the home box, plus the y > b strip at matching x — one
+    /// of the standard asymmetric conventions guaranteeing each pair is
+    /// considered once.
+    pub fn nt_plate(&self, p: Vec3) -> bool {
+        if p.z < 0.0 || p.z >= self.b {
+            return false;
+        }
+        if self.xy_dist(p) >= self.r {
+            return false;
+        }
+        let in_footprint = p.x >= 0.0 && p.x < self.b && p.y >= 0.0 && p.y < self.b;
+        if in_footprint {
+            return false; // home box isn't imported
+        }
+        // Half selection: strictly to the +x side, or straight above in +y.
+        p.x >= self.b || (p.x >= 0.0 && p.y >= self.b)
+    }
+
+    /// The symmetric plate used for charge spreading / force interpolation
+    /// (Figure 3c): the full ring in the home layer.
+    pub fn spreading_plate(&self, p: Vec3) -> bool {
+        if p.z < 0.0 || p.z >= self.b {
+            return false;
+        }
+        let in_footprint = p.x >= 0.0 && p.x < self.b && p.y >= 0.0 && p.y < self.b;
+        !in_footprint && self.xy_dist(p) < self.r
+    }
+
+    /// Traditional half-shell import predicate (Figure 3b): half of the
+    /// shell of thickness r around the home box.
+    pub fn half_shell(&self, p: Vec3) -> bool {
+        let in_home = (0.0..self.b).contains(&p.x)
+            && (0.0..self.b).contains(&p.y)
+            && (0.0..self.b).contains(&p.z);
+        if in_home {
+            return false;
+        }
+        // Distance to the box.
+        let d = Vec3::new(
+            (-p.x).max(0.0).max(p.x - self.b),
+            (-p.y).max(0.0).max(p.y - self.b),
+            (-p.z).max(0.0).max(p.z - self.b),
+        );
+        if d.norm2() >= self.r * self.r {
+            return false;
+        }
+        // Half selection by z, with the home layer split by x then y.
+        if p.z >= self.b {
+            true
+        } else if p.z < 0.0 {
+            false
+        } else {
+            p.x >= self.b || (p.x >= 0.0 && p.x < self.b && p.y >= self.b)
+        }
+    }
+
+    /// Analytic NT tower import volume: `2 r b²`.
+    pub fn nt_tower_volume(&self) -> f64 {
+        2.0 * self.r * self.b * self.b
+    }
+
+    /// Analytic NT plate import volume: `b (2 r b + π r²/2)`.
+    pub fn nt_plate_volume(&self) -> f64 {
+        self.b * (2.0 * self.r * self.b + std::f64::consts::PI * self.r * self.r / 2.0)
+    }
+
+    /// Total NT import volume.
+    pub fn nt_total_volume(&self) -> f64 {
+        self.nt_tower_volume() + self.nt_plate_volume()
+    }
+
+    /// Analytic symmetric spreading-plate volume: `b (4 r b + π r²)`.
+    pub fn spreading_plate_volume(&self) -> f64 {
+        self.b * (4.0 * self.r * self.b + std::f64::consts::PI * self.r * self.r)
+    }
+
+    /// Analytic half-shell import volume:
+    /// `(6 b² r + 3π b r² + 4π r³/3) / 2`.
+    pub fn half_shell_volume(&self) -> f64 {
+        0.5 * (6.0 * self.b * self.b * self.r
+            + 3.0 * std::f64::consts::PI * self.b * self.r * self.r
+            + 4.0 / 3.0 * std::f64::consts::PI * self.r.powi(3))
+    }
+
+    /// Voxel-integrated volume of any of the predicates (deterministic),
+    /// for test cross-validation and for rendering Figure 3 numerically.
+    pub fn measure(&self, pred: impl Fn(Vec3) -> bool, n: usize) -> f64 {
+        let reach = self.b + self.r + 1.0;
+        let dom = voxel::Domain::new(Vec3::splat(-reach), Vec3::splat(reach));
+        voxel::grid_volume(dom, n, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 150;
+
+    #[test]
+    fn tower_volume_analytic_vs_voxel() {
+        let reg = ImportRegions::new(8.0, 13.0);
+        let v = reg.measure(|p| reg.nt_tower(p), N);
+        let a = reg.nt_tower_volume();
+        assert!((v - a).abs() / a < 0.02, "voxel {v} vs analytic {a}");
+    }
+
+    #[test]
+    fn plate_volume_analytic_vs_voxel() {
+        let reg = ImportRegions::new(8.0, 13.0);
+        let v = reg.measure(|p| reg.nt_plate(p), N);
+        let a = reg.nt_plate_volume();
+        assert!((v - a).abs() / a < 0.02, "voxel {v} vs analytic {a}");
+    }
+
+    #[test]
+    fn half_shell_volume_analytic_vs_voxel() {
+        let reg = ImportRegions::new(8.0, 13.0);
+        let v = reg.measure(|p| reg.half_shell(p), N);
+        let a = reg.half_shell_volume();
+        assert!((v - a).abs() / a < 0.02, "voxel {v} vs analytic {a}");
+    }
+
+    #[test]
+    fn spreading_plate_is_larger_than_nt_plate() {
+        let reg = ImportRegions::new(10.0, 13.0);
+        assert!(reg.spreading_plate_volume() > reg.nt_plate_volume());
+        let v = reg.measure(|p| reg.spreading_plate(p), N);
+        let a = reg.spreading_plate_volume();
+        assert!((v - a).abs() / a < 0.02);
+    }
+
+    #[test]
+    fn nt_beats_half_shell_at_high_parallelism() {
+        // The NT advantage grows as boxes shrink relative to the cutoff
+        // (paper: "an advantage that grows asymptotically as the level of
+        // parallelism increases").
+        let r = 13.0;
+        let ratio_small_box = {
+            let reg = ImportRegions::new(4.0, r);
+            reg.nt_total_volume() / reg.half_shell_volume()
+        };
+        let ratio_large_box = {
+            let reg = ImportRegions::new(26.0, r);
+            reg.nt_total_volume() / reg.half_shell_volume()
+        };
+        assert!(ratio_small_box < ratio_large_box);
+        assert!(ratio_small_box < 0.5, "NT should import far less: {ratio_small_box}");
+    }
+
+    #[test]
+    fn regions_are_disjoint_from_home_box() {
+        let reg = ImportRegions::new(8.0, 6.0);
+        for &p in &[
+            Vec3::new(4.0, 4.0, 4.0),
+            Vec3::new(0.1, 0.1, 0.1),
+            Vec3::new(7.9, 7.9, 7.9),
+        ] {
+            assert!(!reg.nt_tower(p));
+            assert!(!reg.nt_plate(p));
+            assert!(!reg.half_shell(p));
+            assert!(!reg.spreading_plate(p));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Maxwell–Boltzmann velocity initialization.
+
+use anton_forcefield::{units::KB, Topology};
+use anton_geometry::Vec3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw velocities from the Maxwell–Boltzmann distribution at `temp_k`,
+/// remove net momentum, and rescale to the exact target temperature.
+/// Massless (virtual) sites get zero velocity. Deterministic per seed.
+pub fn init_velocities(top: &Topology, temp_k: f64, seed: u64) -> Vec<Vec3> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7e10_c171);
+    let mut v = vec![Vec3::ZERO; top.n_atoms()];
+    for (i, vel) in v.iter_mut().enumerate() {
+        let m = top.mass[i];
+        if m <= 0.0 {
+            continue;
+        }
+        // σ² = kB T / m in (Å/fs)²: kB in kcal/mol/K, convert with ACCEL
+        // (kcal/mol/Å per amu → Å/fs²; multiplying kB T/m by ACCEL gives
+        // (Å/fs)² because kB T/m has units kcal/mol/amu = Å²·(fs⁻²)/ACCEL).
+        let sigma = (KB * temp_k / m * anton_forcefield::units::ACCEL).sqrt();
+        *vel = Vec3::new(gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)) * sigma;
+    }
+    remove_net_momentum(top, &mut v);
+    rescale_to_temperature(top, &mut v, temp_k);
+    v
+}
+
+/// Standard normal via Box–Muller.
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Subtract the center-of-mass velocity.
+pub fn remove_net_momentum(top: &Topology, v: &mut [Vec3]) {
+    let mut p = Vec3::ZERO;
+    let mut m_tot = 0.0;
+    for (i, vel) in v.iter().enumerate() {
+        p += *vel * top.mass[i];
+        m_tot += top.mass[i];
+    }
+    let v_com = p / m_tot;
+    for (i, vel) in v.iter_mut().enumerate() {
+        if top.mass[i] > 0.0 {
+            *vel -= v_com;
+        }
+    }
+}
+
+/// Kinetic energy in kcal/mol.
+pub fn kinetic_energy(top: &Topology, v: &[Vec3]) -> f64 {
+    0.5 / anton_forcefield::units::ACCEL
+        * v.iter().enumerate().map(|(i, vel)| top.mass[i] * vel.norm2()).sum::<f64>()
+}
+
+/// Instantaneous temperature (K) from kinetic energy and the constrained
+/// degree-of-freedom count.
+pub fn temperature(top: &Topology, v: &[Vec3]) -> f64 {
+    2.0 * kinetic_energy(top, v) / (top.degrees_of_freedom() as f64 * KB)
+}
+
+fn rescale_to_temperature(top: &Topology, v: &mut [Vec3], temp_k: f64) {
+    let t = temperature(top, v);
+    if t > 1e-12 {
+        let s = (temp_k / t).sqrt();
+        for vel in v.iter_mut() {
+            *vel = *vel * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_forcefield::LjTable;
+
+    fn argon_like(n: usize) -> Topology {
+        Topology {
+            mass: vec![39.9; n],
+            charge: vec![0.0; n],
+            lj_type: vec![0; n],
+            lj_table: LjTable::from_types(&[(3.4, 0.24)]),
+            molecule_starts: (0..=n as u32).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exact_target_temperature_and_zero_momentum() {
+        let top = argon_like(500);
+        let v = init_velocities(&top, 300.0, 42);
+        assert!((temperature(&top, &v) - 300.0).abs() < 1e-9);
+        let p = v.iter().enumerate().fold(Vec3::ZERO, |a, (i, vel)| a + *vel * top.mass[i]);
+        assert!(p.norm() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let top = argon_like(50);
+        assert_eq!(init_velocities(&top, 300.0, 7), init_velocities(&top, 300.0, 7));
+        assert_ne!(init_velocities(&top, 300.0, 7), init_velocities(&top, 300.0, 8));
+    }
+
+    #[test]
+    fn speeds_are_physical() {
+        // Argon at 300 K: RMS speed ≈ sqrt(3 kB T / m) ≈ 0.00432 Å/fs.
+        let top = argon_like(5000);
+        let v = init_velocities(&top, 300.0, 1);
+        let rms = (v.iter().map(|x| x.norm2()).sum::<f64>() / v.len() as f64).sqrt();
+        assert!((rms - 0.00432).abs() < 2e-4, "rms = {rms}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Sweep the calibrated Anton performance model across system sizes and
+//! machine configurations (the Figure 5 / §5.1 design space).
+//!
+//! `cargo run --release -p anton-core --example performance_model`
+
+use anton_machine::{MachineConfig, PerfModel, SystemStats};
+
+fn synthetic_stats(n_atoms: usize) -> SystemStats {
+    // Protein-in-water at biomolecular density, paper-standard parameters.
+    let edge = (n_atoms as f64 / 0.0963).cbrt();
+    SystemStats {
+        n_atoms,
+        box_edge: [edge; 3],
+        cutoff: 11.0,
+        spread_cutoff: 7.5,
+        mesh: [if n_atoms > 60_000 { 64 } else { 32 }; 3],
+        dt_fs: 2.5,
+        longrange_every: 2,
+        n_correction_pairs: n_atoms * 2,
+        n_bonded_terms: n_atoms / 6,
+        protein_atoms: n_atoms / 12,
+        n_constraint_pairs: n_atoms,
+    }
+}
+
+fn main() {
+    let model = PerfModel::anton_512();
+    println!("512-node Anton, protein-in-water (the Figure 5 sweep):");
+    println!("{:>9} | {:>8} | {:>10} | {:>8}", "atoms", "µs/day", "µs/step", "subdiv");
+    for n in [5_000usize, 10_000, 25_000, 50_000, 75_000, 100_000, 125_000] {
+        let b = model.breakdown(&synthetic_stats(n));
+        println!(
+            "{n:>9} | {:>8.2} | {:>10.2} | {:>8}",
+            b.us_per_day, b.avg_step_us, b.chosen_subdiv
+        );
+    }
+
+    println!("\nDHFR across node counts (§5.1):");
+    println!("{:>6} | {:>14} | {:>8}", "nodes", "torus", "µs/day");
+    let dhfr = anton_machine::perf::dhfr_stats(13.0, 32);
+    for k in [1usize, 2, 8, 32, 128, 512, 2048, 8192, 32768] {
+        let cfg = MachineConfig::with_nodes(k);
+        let b = PerfModel::new(cfg).breakdown(&dhfr);
+        println!("{k:>6} | {:>14} | {:>8.2}", format!("{:?}", cfg.torus), b.us_per_day);
+    }
+    println!(
+        "\nNote the small-system plateau: beyond 512 nodes a 23.5k-atom system gains\n\
+         little (the paper: larger configurations \"will likely not benefit chemical\n\
+         systems with only a few thousand atoms\")."
+    );
+}
