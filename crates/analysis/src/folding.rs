@@ -24,7 +24,7 @@ pub fn detect_transitions(q: &[f64], folded_above: f64, unfolded_below: f64) -> 
     assert!(folded_above > unfolded_below);
     let mut events = FoldingEvents::default();
     // Initial state from the first sample.
-    let mut folded = q.first().map_or(false, |&v| v >= folded_above);
+    let mut folded = q.first().is_some_and(|&v| v >= folded_above);
     let mut folded_samples = 0usize;
     for (i, &v) in q.iter().enumerate() {
         if folded {
@@ -63,7 +63,9 @@ mod tests {
     #[test]
     fn hysteresis_ignores_recrossings() {
         // Chatter around 0.55 must produce no events.
-        let q: Vec<f64> = (0..200).map(|i| 0.55 + 0.1 * ((i % 2) as f64 - 0.5)).collect();
+        let q: Vec<f64> = (0..200)
+            .map(|i| 0.55 + 0.1 * ((i % 2) as f64 - 0.5))
+            .collect();
         let ev = detect_transitions(&q, 0.75, 0.35);
         assert!(ev.folding_at.is_empty());
         assert!(ev.unfolding_at.is_empty());

@@ -35,12 +35,17 @@ pub fn kabsch_rotation(mobile: &[Vec3], target: &[Vec3]) -> Mat3 {
         [0.0, 1.0 / vals[1].max(1e-12).sqrt(), 0.0],
         [0.0, 0.0, 1.0 / vals[2].max(1e-12).sqrt()],
     ]);
-    let mut r = h.mul_mat(v.mul_mat(inv_sqrt).mul_mat(v.transpose())).transpose();
+    let mut r = h
+        .mul_mat(v.mul_mat(inv_sqrt).mul_mat(v.transpose()))
+        .transpose();
     if r.det() < 0.0 {
         // Reflection: flip the axis of the smallest eigenvalue.
         let u = v.col(2);
         let flip = Mat3::IDENTITY.add(Mat3::outer(u, u).scale(-2.0));
-        r = h.mul_mat(v.mul_mat(inv_sqrt).mul_mat(v.transpose())).mul_mat(flip).transpose();
+        r = h
+            .mul_mat(v.mul_mat(inv_sqrt).mul_mat(v.transpose()))
+            .mul_mat(flip)
+            .transpose();
         // Ensure we actually produced a rotation.
         if r.det() < 0.0 {
             r = Mat3::IDENTITY;
@@ -60,7 +65,12 @@ pub fn superpose(mobile: &[Vec3], target: &[Vec3]) -> Vec<Vec3> {
 /// RMSD after optimal superposition.
 pub fn rmsd(mobile: &[Vec3], target: &[Vec3]) -> f64 {
     let s = superpose(mobile, target);
-    (s.iter().zip(target).map(|(a, b)| (*a - *b).norm2()).sum::<f64>() / s.len() as f64).sqrt()
+    (s.iter()
+        .zip(target)
+        .map(|(a, b)| (*a - *b).norm2())
+        .sum::<f64>()
+        / s.len() as f64)
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -89,7 +99,10 @@ mod tests {
     fn recovers_pure_rotation() {
         let p = test_points();
         let r_true = rot_z(0.7);
-        let q: Vec<Vec3> = p.iter().map(|&x| r_true.mul_vec(x) + Vec3::new(3.0, -1.0, 2.0)).collect();
+        let q: Vec<Vec3> = p
+            .iter()
+            .map(|&x| r_true.mul_vec(x) + Vec3::new(3.0, -1.0, 2.0))
+            .collect();
         assert!(rmsd(&p, &q) < 1e-10);
         let r = kabsch_rotation(&p, &q);
         assert!((r.det() - 1.0).abs() < 1e-9);

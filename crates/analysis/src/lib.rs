@@ -21,6 +21,6 @@ pub use drift::energy_drift_per_dof_us;
 pub use folding::{detect_transitions, FoldingEvents};
 pub use kabsch::kabsch_rotation;
 pub use order_params::order_parameters;
+pub use stats::{linear_fit, mean_sem};
 pub use structure::{mean_squared_displacement, Rdf};
 pub use xyz::XyzWriter;
-pub use stats::{linear_fit, mean_sem};

@@ -78,16 +78,14 @@ mod tests {
     fn isotropic_vector_has_s2_zero() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
         let frames: Vec<Vec<Vec3>> = (0..60_000)
-            .map(|_| {
-                loop {
-                    let v = Vec3::new(
-                        rng.gen::<f64>() * 2.0 - 1.0,
-                        rng.gen::<f64>() * 2.0 - 1.0,
-                        rng.gen::<f64>() * 2.0 - 1.0,
-                    );
-                    if v.norm2() <= 1.0 && v.norm2() > 1e-3 {
-                        return vec![v];
-                    }
+            .map(|_| loop {
+                let v = Vec3::new(
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                );
+                if v.norm2() <= 1.0 && v.norm2() > 1e-3 {
+                    return vec![v];
                 }
             })
             .collect();

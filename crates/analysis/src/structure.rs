@@ -63,7 +63,10 @@ impl Rdf {
                 let r_hi = r_lo + dr;
                 let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
                 let ideal = self.n_a as f64 * rho_b * shell * self.frames as f64;
-                (r_lo + dr / 2.0, if ideal > 0.0 { count / ideal } else { 0.0 })
+                (
+                    r_lo + dr / 2.0,
+                    if ideal > 0.0 { count / ideal } else { 0.0 },
+                )
             })
             .collect()
     }
@@ -80,8 +83,8 @@ pub fn mean_squared_displacement(frames: &[Vec<Vec3>], max_lag: usize) -> Vec<(u
             let mut acc = 0.0;
             let mut count = 0usize;
             for t in 0..(frames.len() - lag) {
-                for i in 0..n {
-                    acc += (frames[t + lag][i] - frames[t][i]).norm2();
+                for (a, b) in frames[t + lag].iter().zip(&frames[t]) {
+                    acc += (*a - *b).norm2();
                 }
                 count += n;
             }

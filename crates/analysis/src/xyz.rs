@@ -18,7 +18,11 @@ pub struct XyzWriter<W: Write> {
 
 impl<W: Write> XyzWriter<W> {
     pub fn new(out: W, elements: Vec<String>) -> XyzWriter<W> {
-        XyzWriter { out, elements, frames_written: 0 }
+        XyzWriter {
+            out,
+            elements,
+            frames_written: 0,
+        }
     }
 
     /// Guess element symbols from masses (amu), good enough for viewers.
@@ -65,7 +69,8 @@ mod tests {
     fn writes_parseable_frames() {
         let mut buf = Vec::new();
         {
-            let elements = XyzWriter::<&mut Vec<u8>>::elements_from_masses(&[15.9994, 1.008, 1.008]);
+            let elements =
+                XyzWriter::<&mut Vec<u8>>::elements_from_masses(&[15.9994, 1.008, 1.008]);
             assert_eq!(elements, vec!["O", "H", "H"]);
             let mut w = XyzWriter::new(&mut buf, elements);
             let frame = vec![
@@ -88,7 +93,9 @@ mod tests {
 
     #[test]
     fn mass_to_element_covers_workspace_types() {
-        let e = XyzWriter::<Vec<u8>>::elements_from_masses(&[0.0, 1.008, 12.011, 14.0067, 15.9994, 35.453, 39.9]);
+        let e = XyzWriter::<Vec<u8>>::elements_from_masses(&[
+            0.0, 1.008, 12.011, 14.0067, 15.9994, 35.453, 39.9,
+        ]);
         assert_eq!(e, vec!["X", "H", "C", "N", "O", "Cl", "Ar"]);
     }
 }

@@ -41,8 +41,8 @@ fn bench_fixpoint(c: &mut Criterion) {
         })
     });
     c.bench_function("fixpoint/q20_mul", |b| {
-        let p = Q20::from_f64(3.14159);
-        let q = Q20::from_f64(-2.71828);
+        let p = Q20::from_f64(3.15625);
+        let q = Q20::from_f64(-2.71875);
         b.iter(|| black_box(black_box(p).mul(black_box(q))))
     });
 }
@@ -71,8 +71,9 @@ fn bench_fft(c: &mut Criterion) {
         })
     });
     let fx = FxFft::new(32);
-    let line: Vec<FxComplex> =
-        (0..32).map(|i| FxComplex::new((i as i64) << 30, (i as i64) << 29)).collect();
+    let line: Vec<FxComplex> = (0..32)
+        .map(|i| FxComplex::new((i as i64) << 30, (i as i64) << 29))
+        .collect();
     c.bench_function("fft/fixed_line32_forward", |b| {
         b.iter(|| {
             let mut d = line.clone();
@@ -94,7 +95,9 @@ fn bench_gse(c: &mut Criterion) {
             )
         })
         .collect();
-    let charges: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    let charges: Vec<f64> = (0..64)
+        .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+        .collect();
 
     let gse_ref = GseReference::new(Mesh::new([32; 3], pbox), params);
     c.bench_function("gse/reference_64atoms_32cubed", |b| {

@@ -27,14 +27,25 @@ fn main() {
     for s in [1usize, 2, 4] {
         let eff = MatchEfficiency::new(32.0, s, 13.0).analytic();
         let run = sim.run(2_000_000, eff, 11);
-        println!("{:>8} | {:>8.1}% | {:>6.1}%", s * s * s, eff * 100.0, run.utilization * 100.0);
+        println!(
+            "{:>8} | {:>8.1}% | {:>6.1}%",
+            s * s * s,
+            eff * 100.0,
+            run.utilization * 100.0
+        );
     }
     println!("(§3.2.1: PPIPs approach full utilization once ≥1 matched pair/cycle arrives)");
 
     // ---- 2. NT vs half-shell import at increasing parallelism ----
     anton_bench::header(
         "Ablation 2 — NT vs half-shell import volume (13 Å cutoff)",
-        &["nodes for 62 Å box", "box edge", "NT import (Å³)", "half-shell (Å³)", "NT saves"],
+        &[
+            "nodes for 62 Å box",
+            "box edge",
+            "NT import (Å³)",
+            "half-shell (Å³)",
+            "NT saves",
+        ],
     );
     for nodes in [64usize, 512, 4096] {
         let edge = 62.2 / (nodes as f64).cbrt();
@@ -77,7 +88,9 @@ fn main() {
         &["length", "rel rms error"],
     );
     for n in [16usize, 32, 64] {
-        let data: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
         let mut fx: Vec<FxComplex> = data
             .iter()
             .map(|&x| FxComplex::new((x * (1i64 << 40) as f64) as i64, 0))

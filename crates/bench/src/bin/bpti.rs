@@ -14,14 +14,33 @@ fn main() {
     let full = anton_bench::full_mode();
     let sys = bpti(1);
 
-    anton_bench::header("§5.3 — BPTI system construction", &["quantity", "ours", "paper"]);
+    anton_bench::header(
+        "§5.3 — BPTI system construction",
+        &["quantity", "ours", "paper"],
+    );
     let n_ions = sys.topology.charge.iter().filter(|&&q| q == -1.0).count();
     println!("{:<24} | {:>6} | {:>6}", "particles", sys.n_atoms(), 17758);
-    println!("{:<24} | {:>6} | {:>6}", "4-site waters", sys.topology.virtual_sites.len(), 4215);
+    println!(
+        "{:<24} | {:>6} | {:>6}",
+        "4-site waters",
+        sys.topology.virtual_sites.len(),
+        4215
+    );
     println!("{:<24} | {:>6} | {:>6}", "chloride ions", n_ions, 6);
-    println!("{:<24} | {:>6.1} | {:>6.1}", "box edge (Å)", sys.pbox.edge().x, 51.3);
-    println!("{:<24} | {:>6.1} | {:>6.1}", "cutoff (Å)", sys.params.cutoff, 10.4);
-    println!("{:<24} | {:>6.1} | {:>6.1}", "spreading cutoff (Å)", sys.params.spread_cutoff, 7.1);
+    println!(
+        "{:<24} | {:>6.1} | {:>6.1}",
+        "box edge (Å)",
+        sys.pbox.edge().x,
+        51.3
+    );
+    println!(
+        "{:<24} | {:>6.1} | {:>6.1}",
+        "cutoff (Å)", sys.params.cutoff, 10.4
+    );
+    println!(
+        "{:<24} | {:>6.1} | {:>6.1}",
+        "spreading cutoff (Å)", sys.params.spread_cutoff, 7.1
+    );
     println!("{:<24} | {:>6} | {:>6}", "mesh", "32³", "32³");
     println!(
         "{:<24} | {:>6.1} | {:>6.1}",
@@ -45,10 +64,16 @@ fn main() {
 
     // A short verified segment: Berendsen-controlled, as in the paper.
     let cycles = if full { 60 } else { 6 };
-    println!("\nrunning a verified {cycles}-cycle segment ({} fs simulated)…", cycles as f64 * 5.0);
+    println!(
+        "\nrunning a verified {cycles}-cycle segment ({} fs simulated)…",
+        cycles as f64 * 5.0
+    );
     let mut sim = AntonSimulation::builder(sys)
         .velocities_from_temperature(300.0, 77)
-        .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 100.0 })
+        .thermostat(ThermostatKind::Berendsen {
+            target_k: 300.0,
+            tau_fs: 100.0,
+        })
         .build();
     let e0 = sim.total_energy();
     let t = std::time::Instant::now();

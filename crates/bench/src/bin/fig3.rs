@@ -8,7 +8,15 @@ use anton_nt::ImportRegions;
 fn main() {
     anton_bench::header(
         "Figure 3 — import-region volumes (Å³), 13 Å cutoff",
-        &["box side", "NT tower", "NT plate", "NT total", "half-shell", "NT/half-shell", "spread plate"],
+        &[
+            "box side",
+            "NT tower",
+            "NT plate",
+            "NT total",
+            "half-shell",
+            "NT/half-shell",
+            "spread plate",
+        ],
     );
     for b in [4.0f64, 8.0, 13.0, 16.0, 26.0, 32.0] {
         let r = ImportRegions::new(b, 13.0);

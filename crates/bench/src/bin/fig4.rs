@@ -39,11 +39,21 @@ fn main() {
                     / (r * r)
             }) as Box<dyn Fn(f64) -> f64>,
         ),
-        ("LJ r⁻¹⁴ force", &ppip.f12, Box::new(|r: f64| 12.0 / (r * r).powi(7))),
-        ("LJ r⁻⁸ force", &ppip.f6, Box::new(|r: f64| 6.0 / (r * r).powi(4))),
-        ("erfc-coulomb energy", &ppip.e_elec, Box::new(move |r: f64| {
-            anton_forcefield::units::erfc(beta * r) / r
-        })),
+        (
+            "LJ r⁻¹⁴ force",
+            &ppip.f12,
+            Box::new(|r: f64| 12.0 / (r * r).powi(7)),
+        ),
+        (
+            "LJ r⁻⁸ force",
+            &ppip.f6,
+            Box::new(|r: f64| 6.0 / (r * r).powi(4)),
+        ),
+        (
+            "erfc-coulomb energy",
+            &ppip.e_elec,
+            Box::new(move |r: f64| anton_forcefield::units::erfc(beta * r) / r),
+        ),
     ] {
         let mut max_rel: f64 = 0.0;
         let mut sum2 = 0.0;
@@ -57,7 +67,10 @@ fn main() {
             max_rel = max_rel.max(rel);
             sum2 += rel * rel;
         }
-        println!("{name:<22} | {max_rel:>12.3e} | {:>12.3e}", (sum2 / n as f64).sqrt());
+        println!(
+            "{name:<22} | {max_rel:>12.3e} | {:>12.3e}",
+            (sum2 / n as f64).sqrt()
+        );
     }
 
     println!(

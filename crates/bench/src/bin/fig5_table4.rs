@@ -21,7 +21,15 @@ fn main() {
     // ---------------- Figure 5 + Table 4 performance column ----------------
     anton_bench::header(
         "Figure 5 / Table 4 — 512-node performance (µs/day)",
-        &["system", "atoms", "cutoff", "mesh", "model", "paper", "water-only model"],
+        &[
+            "system",
+            "atoms",
+            "cutoff",
+            "mesh",
+            "model",
+            "paper",
+            "water-only model",
+        ],
     );
     for e in &TABLE4 {
         let sys = table4_system(e, 1);
@@ -41,7 +49,13 @@ fn main() {
     // ---------------- Table 4 force errors ----------------
     anton_bench::header(
         "Table 4 — force errors (fraction of rms force)",
-        &["system", "total (ours)", "total (paper)", "numerical (ours)", "numerical (paper)"],
+        &[
+            "system",
+            "total (ours)",
+            "total (paper)",
+            "numerical (ours)",
+            "numerical (paper)",
+        ],
     );
     let n_measure = if full { TABLE4.len() } else { 2 };
     for e in TABLE4.iter().take(n_measure) {
@@ -82,8 +96,12 @@ fn main() {
     // drift by its own energy-fluctuation floor, which we report alongside.
     let cycles = if full { 1500 } else { 300 };
     let pbox = anton_geometry::PeriodicBox::cubic(22.0);
-    let (top, positions) =
-        anton_systems::waterbox::pure_water_topology(&pbox, &anton_forcefield::water::TIP3P, 340, 3);
+    let (top, positions) = anton_systems::waterbox::pure_water_topology(
+        &pbox,
+        &anton_forcefield::water::TIP3P,
+        340,
+        3,
+    );
     let sys = anton_systems::System {
         name: "drift-water".into(),
         pbox,
@@ -146,10 +164,11 @@ fn numerical_error(sys: &anton_systems::System, sim: &AntonSimulation) -> f64 {
     let mut num = 0.0;
     let mut den = 0.0;
     let mut rl = anton_core::RawForces::zeroed(sys.n_atoms());
-    sim.pipeline.range_limited(sys, state, anton_core::Decomposition::SingleRank, &mut rl);
-    for i in 0..sys.n_atoms() {
-        num += (rl.force_f64(i) - exact[i]).norm2();
-        den += exact[i].norm2();
+    sim.pipeline
+        .range_limited(sys, state, anton_core::Decomposition::SingleRank, &mut rl);
+    for (i, ex) in exact.iter().enumerate() {
+        num += (rl.force_f64(i) - *ex).norm2();
+        den += ex.norm2();
     }
     (num / den).sqrt()
 }

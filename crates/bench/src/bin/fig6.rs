@@ -71,7 +71,10 @@ fn main() {
     // --- Anton engine trajectory.
     let mut anton = AntonSimulation::builder(sys.clone())
         .velocities_from_temperature(300.0, 41)
-        .thermostat(anton_core::ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 100.0 })
+        .thermostat(anton_core::ThermostatKind::Berendsen {
+            target_k: 300.0,
+            tau_fs: 100.0,
+        })
         .build();
     anton.run_cycles(100); // equilibrate
     let anton_frames = collect_frames(
@@ -89,10 +92,14 @@ fn main() {
     // --- Reference engine trajectory (independent seed → independent
     // trajectory, like the paper's Anton-vs-Desmond comparison).
     let vel = init_velocities(&sys.topology, 300.0, 43);
-    let mut refsim = RefSimulation::new(sys.clone(), vel, Thermostat::Berendsen {
-        target_k: 300.0,
-        tau_fs: 100.0,
-    });
+    let mut refsim = RefSimulation::new(
+        sys.clone(),
+        vel,
+        Thermostat::Berendsen {
+            target_k: 300.0,
+            tau_fs: 100.0,
+        },
+    );
     for _ in 0..100 {
         refsim.run_cycle();
     }
@@ -123,7 +130,13 @@ fn main() {
         &["residue", "Anton", "reference", "\"NMR\""],
     );
     for i in 0..N_RES {
-        println!("{:>7} | {:>6.3} | {:>9.3} | {:>6.3}", i + 1, s2_anton[i], s2_ref[i], s2_nmr[i]);
+        println!(
+            "{:>7} | {:>6.3} | {:>9.3} | {:>6.3}",
+            i + 1,
+            s2_anton[i],
+            s2_ref[i],
+            s2_nmr[i]
+        );
     }
 
     // Agreement summary (the paper's claim: the two simulation estimates are
@@ -131,8 +144,14 @@ fn main() {
     let rmsd = |a: &[f64], b: &[f64]| {
         (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
     };
-    println!("\nS² rms difference Anton vs reference: {:.4}", rmsd(&s2_anton, &s2_ref));
-    println!("S² rms difference Anton vs \"NMR\"   : {:.4}", rmsd(&s2_anton, &s2_nmr));
+    println!(
+        "\nS² rms difference Anton vs reference: {:.4}",
+        rmsd(&s2_anton, &s2_ref)
+    );
+    println!(
+        "S² rms difference Anton vs \"NMR\"   : {:.4}",
+        rmsd(&s2_anton, &s2_nmr)
+    );
     println!(
         "(window: {} frames x {} cycles x {} fs; the paper used 1 µs trajectories)",
         frames,

@@ -67,20 +67,25 @@ fn main() {
 
     // 3. Report the trace (coarse ASCII sparkline) and events.
     let ev = detect_transitions(&q_series, 0.75, 0.35);
-    anton_bench::header("Figure 7 — gpW folding/unfolding at Tm (Gō model)", &["quantity", "value"]);
+    anton_bench::header(
+        "Figure 7 — gpW folding/unfolding at Tm (Gō model)",
+        &["quantity", "value"],
+    );
     println!("{:<26} | {}", "samples", q_series.len());
     println!("{:<26} | {:.2}", "folded fraction", ev.folded_fraction);
     println!("{:<26} | {}", "folding events", ev.folding_at.len());
     println!("{:<26} | {}", "unfolding events", ev.unfolding_at.len());
 
-    println!("\nQ(t) trace (each char = {} steps):", 200 * (q_series.len() / 80).max(1));
+    println!(
+        "\nQ(t) trace (each char = {} steps):",
+        200 * (q_series.len() / 80).max(1)
+    );
     let bins = 80.min(q_series.len());
     let chunk = q_series.len() / bins;
     let glyphs = [' ', '.', ':', '-', '=', '#'];
     let line: String = (0..bins)
         .map(|b| {
-            let q: f64 =
-                q_series[b * chunk..(b + 1) * chunk].iter().sum::<f64>() / chunk as f64;
+            let q: f64 = q_series[b * chunk..(b + 1) * chunk].iter().sum::<f64>() / chunk as f64;
             glyphs[((q * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
         })
         .collect();

@@ -33,8 +33,14 @@ fn main() {
     let anton = PerfModel::anton_512().breakdown(&stats);
     let cluster = PerfModel::commodity_cluster_us_per_day(&stats, 512, 2);
     println!("\nBPTI-system rates from this reproduction's performance model:");
-    println!("  Anton 512 nodes : {:>8.1} µs/day (paper measured 9.8, later 18.2)", anton.us_per_day);
-    println!("  512-node cluster: {:>8.3} µs/day (Desmond-class, §5.1 reports 0.471)", cluster);
+    println!(
+        "  Anton 512 nodes : {:>8.1} µs/day (paper measured 9.8, later 18.2)",
+        anton.us_per_day
+    );
+    println!(
+        "  512-node cluster: {:>8.3} µs/day (Desmond-class, §5.1 reports 0.471)",
+        cluster
+    );
     println!(
         "  => 1031 µs of BPTI ≈ {:>5.0} days on Anton vs {:>7.0} days on the cluster",
         1031.0 / anton.us_per_day,

@@ -20,7 +20,11 @@ fn profile_x86(cutoff: f64, mesh: usize, full: bool) -> [f64; 7] {
     // The x86 column: wall time per task for the reference engine on one
     // core. Reduced size scales every task together, preserving the ratio
     // structure that Table 2 is about.
-    let (atoms, edge, steps) = if full { (23558, 62.2, 6) } else { (5994, 39.4, 2) };
+    let (atoms, edge, steps) = if full {
+        (23558, 62.2, 6)
+    } else {
+        (5994, 39.4, 2)
+    };
     let entry = &TABLE4[1];
     let sys = build_solvated(
         entry.name,
@@ -51,7 +55,15 @@ fn profile_x86(cutoff: f64, mesh: usize, full: bool) -> [f64; 7] {
 
 fn main() {
     let full = anton_bench::full_mode();
-    let rows = ["range-limited", "FFT+inverse", "mesh interp", "correction", "bonded", "integration", "total"];
+    let rows = [
+        "range-limited",
+        "FFT+inverse",
+        "mesh interp",
+        "correction",
+        "bonded",
+        "integration",
+        "total",
+    ];
     let paper_x86 = [
         [56.6, 12.3, 9.6, 4.0, 2.7, 3.4, 88.5],
         [164.4, 1.4, 8.8, 3.8, 2.7, 3.4, 184.5],
@@ -63,7 +75,9 @@ fn main() {
 
     println!("Table 2 — DHFR per-step task profile, two electrostatics parameter sets");
     if !full {
-        println!("(default: reduced 5,994-atom surrogate; run with --full for the 23,558-atom system)");
+        println!(
+            "(default: reduced 5,994-atom surrogate; run with --full for the 23,558-atom system)"
+        );
     }
 
     for (ci, (cutoff, mesh)) in [(9.0, 64usize), (13.0, 32)].iter().enumerate() {
@@ -102,7 +116,10 @@ fn main() {
         for (i, r) in rows.iter().enumerate() {
             println!("{r:<14} | {:>10.2} | {:>9.1}", anton[i], paper_anton[ci][i]);
         }
-        println!("model rate: {:.1} µs/day (paper: 16.4 at the 13 Å/32³ setting)", b.us_per_day);
+        println!(
+            "model rate: {:.1} µs/day (paper: 16.4 at the 13 Å/32³ setting)",
+            b.us_per_day
+        );
     }
 
     // The paper's punchline: the same parameter change that slows the x86

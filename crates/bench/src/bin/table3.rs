@@ -15,7 +15,11 @@ fn main() {
         let mut row = format!("{b:>7.0} Å");
         for (si, &s) in [1usize, 2, 4].iter().enumerate() {
             let eff = MatchEfficiency::new(b, s, 13.0).analytic();
-            row += &format!(" | {:>4.0}% (paper {:>2.0}%)", eff * 100.0, paper[bi][si] * 100.0);
+            row += &format!(
+                " | {:>4.0}% (paper {:>2.0}%)",
+                eff * 100.0,
+                paper[bi][si] * 100.0
+            );
         }
         println!("{row}");
     }

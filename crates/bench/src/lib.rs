@@ -17,7 +17,10 @@ pub fn full_mode() -> bool {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n=== {title} ===");
     println!("{}", cols.join(" | "));
-    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+    println!(
+        "{}",
+        "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>())
+    );
 }
 
 /// Measure NVE energy drift on the Anton engine: equilibrate briefly with a
@@ -29,7 +32,10 @@ pub fn measure_drift(system: System, nve_cycles: usize, seed: u64) -> (f64, f64)
     let dt = system.params.dt_fs;
     let mut sim = AntonSimulation::builder(system)
         .velocities_from_temperature(300.0, seed)
-        .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 20.0 })
+        .thermostat(ThermostatKind::Berendsen {
+            target_k: 300.0,
+            tau_fs: 20.0,
+        })
         .build();
     // Equilibrate for as long as the measurement window: drift fits on an
     // unequilibrated system measure relaxation, not integrator error.

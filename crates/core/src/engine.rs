@@ -121,7 +121,13 @@ impl AntonSimulation {
             .topology
             .mass
             .iter()
-            .map(|&m| if m > 0.0 { dt / 2.0 * ACCEL / m * fscale } else { 0.0 })
+            .map(|&m| {
+                if m > 0.0 {
+                    dt / 2.0 * ACCEL / m * fscale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let kick_long_half = kick_half.iter().map(|c| c * k).collect();
         let e = system.pbox.edge();
@@ -181,9 +187,9 @@ impl AntonSimulation {
         for v in &sys.topology.virtual_sites {
             let fm = out.f[v.site as usize];
             out.f[v.site as usize] = [0; 3];
-            for k in 0..3 {
-                let a = rne_f64(fm[k] as f64 * (1.0 - v.gamma)) as i64;
-                let h = rne_f64(fm[k] as f64 * (v.gamma * 0.5)) as i64;
+            for (k, &fmk) in fm.iter().enumerate() {
+                let a = rne_f64(fmk as f64 * (1.0 - v.gamma)) as i64;
+                let h = rne_f64(fmk as f64 * (v.gamma * 0.5)) as i64;
                 out.f[v.a as usize][k] = out.f[v.a as usize][k].wrapping_add(a);
                 out.f[v.b as usize][k] = out.f[v.b as usize][k].wrapping_add(h);
                 out.f[v.c as usize][k] = out.f[v.c as usize][k].wrapping_add(h);
@@ -193,16 +199,23 @@ impl AntonSimulation {
 
     fn refresh_short(&mut self) {
         self.short.clear();
+        self.pipeline.range_limited(
+            &self.system,
+            &self.state,
+            self.decomposition,
+            &mut self.short,
+        );
         self.pipeline
-            .range_limited(&self.system, &self.state, self.decomposition, &mut self.short);
-        self.pipeline.bonded(&self.system, &self.state, &mut self.short);
+            .bonded(&self.system, &self.state, &mut self.short);
         Self::spread_vsite_forces(&mut self.short, &self.system);
     }
 
     fn refresh_long(&mut self) {
         self.long.clear();
-        self.pipeline.reciprocal(&self.system, &self.state, &mut self.long);
-        self.pipeline.corrections(&self.system, &self.state, &mut self.long);
+        self.pipeline
+            .reciprocal(&self.system, &self.state, &mut self.long);
+        self.pipeline
+            .corrections(&self.system, &self.state, &mut self.long);
         Self::spread_vsite_forces(&mut self.long, &self.system);
     }
 
@@ -213,8 +226,8 @@ impl AntonSimulation {
                 continue;
             }
             let v = &mut state.velocities[i];
-            for k in 0..3 {
-                v[k] = v[k].wrapping_add(rne_f64(forces.f[i][k] as f64 * c) as i64);
+            for (vk, &fk) in v.iter_mut().zip(&forces.f[i]) {
+                *vk = vk.wrapping_add(rne_f64(fk as f64 * c) as i64);
             }
         }
     }
@@ -243,11 +256,7 @@ impl AntonSimulation {
             return;
         }
         let mut pos = self.state.decode_positions(&self.system.pbox);
-        anton_refmd_shake(
-            &self.system,
-            pos_ref,
-            &mut pos,
-        );
+        anton_refmd_shake(&self.system, pos_ref, &mut pos);
         // Write back: positions and constrained velocities.
         let e = self.system.pbox.edge();
         let dt = self.system.params.dt_fs;
@@ -256,7 +265,8 @@ impl AntonSimulation {
             for &a in &g.atoms() {
                 let i = a as usize;
                 let w = self.system.pbox.wrap(pos[i]);
-                self.state.set_position_frac(i, [w.x / e.x, w.y / e.y, w.z / e.z]);
+                self.state
+                    .set_position_frac(i, [w.x / e.x, w.y / e.y, w.z / e.z]);
                 let v = self.system.pbox.min_image(pos[i], pos_ref[i]) * (1.0 / dt);
                 self.state.velocities[i] = [
                     rne_f64(v.x * vs) as i64,
@@ -335,12 +345,16 @@ impl AntonSimulation {
     }
 
     pub fn kinetic_energy(&self) -> f64 {
-        let v: Vec<Vec3> = (0..self.state.n_atoms()).map(|i| self.state.velocity_f64(i)).collect();
+        let v: Vec<Vec3> = (0..self.state.n_atoms())
+            .map(|i| self.state.velocity_f64(i))
+            .collect();
         anton_systems::velocities::kinetic_energy(&self.system.topology, &v)
     }
 
     pub fn temperature_k(&self) -> f64 {
-        let v: Vec<Vec3> = (0..self.state.n_atoms()).map(|i| self.state.velocity_f64(i)).collect();
+        let v: Vec<Vec3> = (0..self.state.n_atoms())
+            .map(|i| self.state.velocity_f64(i))
+            .collect();
         anton_systems::velocities::temperature(&self.system.topology, &v)
     }
 
@@ -458,7 +472,9 @@ mod tests {
         }
         let top = Topology {
             mass: vec![39.9; n],
-            charge: (0..n).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect(),
+            charge: (0..n)
+                .map(|i| if i % 2 == 0 { 0.2 } else { -0.2 })
+                .collect(),
             lj_type: vec![0; n],
             lj_table: LjTable::from_types(&[(3.4, 0.24)]),
             molecule_starts: (0..=n as u32).collect(),
@@ -478,7 +494,9 @@ mod tests {
     fn trajectories_are_bitwise_deterministic() {
         let mk = || {
             let sys = water_system(80, 3);
-            AntonSimulation::builder(sys).velocities_from_temperature(300.0, 7).build()
+            AntonSimulation::builder(sys)
+                .velocities_from_temperature(300.0, 7)
+                .build()
         };
         let mut a = mk();
         let mut b = mk();
@@ -528,7 +546,10 @@ mod tests {
         sim.negate_velocities();
         sim.run_cycles(cycles);
         sim.negate_velocities();
-        assert_eq!(sim.state, x0, "reversed trajectory failed to recover the initial state");
+        assert_eq!(
+            sim.state, x0,
+            "reversed trajectory failed to recover the initial state"
+        );
     }
 
     #[test]
@@ -541,7 +562,10 @@ mod tests {
         sim.run_cycles(100);
         let e1 = sim.total_energy();
         let per_dof = (e1 - e0).abs() / sim.system.topology.degrees_of_freedom() as f64;
-        assert!(per_dof < 0.02, "energy moved {per_dof} kcal/mol/DoF over 500 fs");
+        assert!(
+            per_dof < 0.02,
+            "energy moved {per_dof} kcal/mol/DoF over 500 fs"
+        );
     }
 
     #[test]
@@ -554,7 +578,11 @@ mod tests {
         let pos = sim.positions_f64();
         for g in &sim.system.topology.constraint_groups {
             for &(i, j, d0) in &g.pairs {
-                let d = sim.system.pbox.min_image(pos[i as usize], pos[j as usize]).norm();
+                let d = sim
+                    .system
+                    .pbox
+                    .min_image(pos[i as usize], pos[j as usize])
+                    .norm();
                 // Constraint satisfied to the position-grid resolution.
                 assert!((d - d0).abs() < 5e-4, "constraint ({i},{j}) at {d} vs {d0}");
             }
@@ -566,7 +594,10 @@ mod tests {
         let sys = water_system(60, 25);
         let mut sim = AntonSimulation::builder(sys)
             .velocities_from_temperature(250.0, 27)
-            .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 25.0 })
+            .thermostat(ThermostatKind::Berendsen {
+                target_k: 300.0,
+                tau_fs: 25.0,
+            })
             .build();
         for _ in 0..120 {
             sim.run_cycle();

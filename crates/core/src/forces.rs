@@ -81,15 +81,21 @@ impl RawForces {
     /// Potential energy (kcal/mol).
     pub fn potential(&self) -> f64 {
         let s = 1.0 / (1u64 << ENERGY_FRAC) as f64;
-        (self.e_range_limited.wrapping_add(self.e_bonded).wrapping_add(self.e_correction))
-            as f64
+        (self
+            .e_range_limited
+            .wrapping_add(self.e_bonded)
+            .wrapping_add(self.e_correction)) as f64
             * s
             + self.e_reciprocal as f64 * s
     }
 
     pub fn force_f64(&self, i: usize) -> Vec3 {
         let s = 1.0 / (1i64 << FORCE_FRAC) as f64;
-        Vec3::new(self.f[i][0] as f64 * s, self.f[i][1] as f64 * s, self.f[i][2] as f64 * s)
+        Vec3::new(
+            self.f[i][0] as f64 * s,
+            self.f[i][1] as f64 * s,
+            self.f[i][2] as f64 * s,
+        )
     }
 }
 
@@ -190,7 +196,14 @@ impl ForcePipeline {
         }
     }
 
-    fn apply_pair(&self, sys: &System, state: &FixedState, i: usize, j: usize, out: &mut RawForces) {
+    fn apply_pair(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        i: usize,
+        j: usize,
+        out: &mut RawForces,
+    ) {
         if let Some((fi, eq)) = self.pair_contribution(sys, state, i, j) {
             let d = state.delta_q20(self.half_edge_q20, i, j);
             for k in 0..3 {
@@ -223,7 +236,13 @@ impl ForcePipeline {
     /// to it. The exact fixed-point cutoff filter makes the interaction set
     /// identical to the single-rank path; wrapping accumulation makes the
     /// *forces* identical bitwise.
-    fn range_limited_nt(&self, sys: &System, state: &FixedState, nodes: usize, out: &mut RawForces) {
+    fn range_limited_nt(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        nodes: usize,
+        out: &mut RawForces,
+    ) {
         let dims = anton_machine::config::near_cubic_torus(nodes);
         let grid = NodeGrid::new(dims[0] as i32, dims[1] as i32, dims[2] as i32);
         let e = sys.pbox.edge();
@@ -235,10 +254,13 @@ impl ForcePipeline {
         let nt = NtAssignment::for_cutoff(grid, sys.params.cutoff + self.import_margin, box_edges);
 
         // Home assignment with constraint groups co-located (§3.2.4).
-        let fracs: Vec<[f64; 3]> =
-            state.positions.iter().map(|p| p.to_unit_frac()).collect();
-        let groups: Vec<Vec<u32>> =
-            sys.topology.constraint_groups.iter().map(|g| g.atoms()).collect();
+        let fracs: Vec<[f64; 3]> = state.positions.iter().map(|p| p.to_unit_frac()).collect();
+        let groups: Vec<Vec<u32>> = sys
+            .topology
+            .constraint_groups
+            .iter()
+            .map(|g| g.atoms())
+            .collect();
         let homes = assign_homes(&grid, &fracs, &groups);
 
         let mut atoms_in: Vec<Vec<u32>> = vec![Vec::new(); grid.node_count()];
@@ -321,8 +343,9 @@ impl ForcePipeline {
                     continue;
                 }
                 let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
-                let r2 =
-                    (d[0] as f64 * ds).powi(2) + (d[1] as f64 * ds).powi(2) + (d[2] as f64 * ds).powi(2);
+                let r2 = (d[0] as f64 * ds).powi(2)
+                    + (d[1] as f64 * ds).powi(2)
+                    + (d[2] as f64 * ds).powi(2);
                 let (e, f_over_r) = self.corr_kernel.exclusion_correction(qq, r2);
                 let a = &mut out.f[i as usize];
                 let fi = [
@@ -375,11 +398,7 @@ mod tests {
     }
 
     fn state_of(sys: &System) -> FixedState {
-        FixedState::from_f64(
-            &sys.pbox,
-            &sys.positions,
-            &vec![Vec3::ZERO; sys.n_atoms()],
-        )
+        FixedState::from_f64(&sys.pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()])
     }
 
     /// The paper's parallel-invariance claim, at force granularity: the NT
@@ -479,9 +498,9 @@ mod tests {
 
         let mut num = 0.0;
         let mut den = 0.0;
-        for i in 0..sys.n_atoms() {
-            num += (out.force_f64(i) - f64_forces[i]).norm2();
-            den += f64_forces[i].norm2();
+        for (i, ff) in f64_forces.iter().enumerate() {
+            num += (out.force_f64(i) - *ff).norm2();
+            den += ff.norm2();
         }
         let rel = (num / den).sqrt();
         assert!(rel < 1e-4, "numerical force error {rel:e}");
@@ -526,7 +545,10 @@ mod virial_tests {
         let d = pbox.min_image(positions[0], positions[1]);
         let want = d.dot(f0);
         let got = out.virial_f64();
-        assert!((got - want).abs() < 1e-4 * want.abs().max(1.0), "{got} vs {want}");
+        assert!(
+            (got - want).abs() < 1e-4 * want.abs().max(1.0),
+            "{got} vs {want}"
+        );
     }
 
     /// The virial inherits parallel invariance from its wide accumulator.
@@ -543,8 +565,7 @@ mod virial_tests {
             positions,
             params: RunParams::paper(7.5, 16),
         };
-        let state =
-            FixedState::from_f64(&pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()]);
+        let state = FixedState::from_f64(&pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()]);
         let pipe = ForcePipeline::new(&sys);
         let mut a = RawForces::zeroed(sys.n_atoms());
         pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut a);

@@ -23,6 +23,7 @@ pub struct FixedState {
 
 impl FixedState {
     /// Quantize f64 positions/velocities onto the fixed grids.
+    // detlint::boundary(reason = "setup-time f64 -> fixed quantization edge; every component rounds via rne_f64 / from_unit_frac")
     pub fn from_f64(pbox: &PeriodicBox, positions: &[Vec3], velocities: &[Vec3]) -> FixedState {
         assert_eq!(positions.len(), velocities.len());
         let e = pbox.edge();
@@ -44,7 +45,10 @@ impl FixedState {
                 ]
             })
             .collect();
-        FixedState { positions, velocities }
+        FixedState {
+            positions,
+            velocities,
+        }
     }
 
     pub fn n_atoms(&self) -> usize {
@@ -62,10 +66,13 @@ impl FixedState {
     /// All positions decoded to Cartesian f64 (for neighbor search and
     /// kernel interiors; every decode is exact and order-independent).
     pub fn decode_positions(&self, pbox: &PeriodicBox) -> Vec<Vec3> {
-        (0..self.n_atoms()).map(|i| self.decode_position(pbox, i)).collect()
+        (0..self.n_atoms())
+            .map(|i| self.decode_position(pbox, i))
+            .collect()
     }
 
     /// Velocity of atom `i` in Å/fs.
+    // detlint::boundary(reason = "exact Q40 -> f64 decode for kernel interiors and diagnostics; read-only")
     #[inline]
     pub fn velocity_f64(&self, i: usize) -> Vec3 {
         let s = 1.0 / (1i64 << VEL_FRAC) as f64;
@@ -95,6 +102,7 @@ impl FixedState {
     }
 
     /// Overwrite a position from a freshly computed fraction (virtual sites).
+    // detlint::boundary(reason = "virtual-site f64 -> fraction quantization edge; rounds via from_unit_frac")
     #[inline]
     pub fn set_position_frac(&mut self, i: usize, frac: [f64; 3]) {
         self.positions[i] = FxVec3::from_unit_frac(frac);
@@ -155,7 +163,10 @@ impl FixedState {
         for _ in 0..n {
             velocities.push([data.get_i64_le(), data.get_i64_le(), data.get_i64_le()]);
         }
-        Some(FixedState { positions, velocities })
+        Some(FixedState {
+            positions,
+            velocities,
+        })
     }
 }
 

@@ -55,11 +55,19 @@ mod tests {
         assert_eq!(s.n_atoms, 9865);
         assert!((s.density() - 0.0963).abs() < 0.003);
         // Solute atoms: 118 residues × 8 + tail.
-        assert!(s.protein_atoms >= 944 && s.protein_atoms < 1000, "{}", s.protein_atoms);
+        assert!(
+            s.protein_atoms >= 944 && s.protein_atoms < 1000,
+            "{}",
+            s.protein_atoms
+        );
         // Water: 3 constraint pairs per molecule, protein: 3 per residue.
         assert!(s.n_constraint_pairs > 8000);
         assert!(s.n_bonded_terms > 1000);
-        assert!(s.n_correction_pairs > s.n_atoms, "corrections {}", s.n_correction_pairs);
+        assert!(
+            s.n_correction_pairs > s.n_atoms,
+            "corrections {}",
+            s.n_correction_pairs
+        );
     }
 
     #[test]

@@ -1,0 +1,8 @@
+// Fixture: linted as crates/fixpoint/src/fx32.rs — D1 fires on float
+// literals and float types outside a declared quantization boundary.
+
+pub fn half(x: f64) -> f64 {
+    x * 0.5
+}
+
+pub const SCALE: f32 = 1.5e3;

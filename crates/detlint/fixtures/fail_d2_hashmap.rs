@@ -1,0 +1,8 @@
+// Fixture: linted as crates/nt/src/bad.rs — D2 fires on unordered
+// containers in a deterministic crate.
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}

@@ -1,0 +1,10 @@
+// Fixture: linted as crates/fixpoint/src/bad.rs — D3 fires on lossy
+// integer casts outside the audited rounding module.
+
+pub fn truncate(x: i64) -> i32 {
+    x as i32
+}
+
+pub fn widen_is_fine(x: i32) -> i64 {
+    x as i64
+}

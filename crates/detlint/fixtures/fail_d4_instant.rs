@@ -1,0 +1,10 @@
+// Fixture: linted as crates/core/src/bad.rs — D4 fires on wall-clock and
+// thread-topology reads on the simulation path.
+
+use std::time::Instant;
+
+pub fn adaptive_budget() -> u64 {
+    let t0 = Instant::now();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    t0.elapsed().as_nanos() as u64 * threads as u64
+}

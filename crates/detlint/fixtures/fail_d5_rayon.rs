@@ -1,0 +1,10 @@
+// Fixture: linted as crates/ewald/src/bad.rs — D5 fires on order-sensitive
+// reductions downstream of a rayon parallel iterator.
+
+pub fn energy(contributions: &[f64]) -> f64 {
+    contributions.par_iter().map(|x| x * x).sum::<f64>()
+}
+
+pub fn max_is_fine(contributions: &[u64]) -> u64 {
+    contributions.par_iter().copied().max().unwrap_or(0)
+}

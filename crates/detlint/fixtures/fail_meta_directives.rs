@@ -1,0 +1,14 @@
+// Fixture: linted as crates/core/src/bad.rs — META fires on malformed
+// directives so a typo can never silently disable a rule.
+
+// detlint::allow(D9, reason = "no such rule")
+pub fn a() {}
+
+// detlint::allow(D4)
+pub fn b() {}
+
+// detlint::boundary(because = "wrong key")
+pub fn c() {}
+
+// detlint::permit(D4, reason = "unknown verb")
+pub fn d() {}

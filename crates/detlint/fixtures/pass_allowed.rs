@@ -1,0 +1,11 @@
+// Fixture: linted as crates/ewald/src/good.rs — a well-formed allow
+// suppresses exactly its rule on the directive line and the next code line.
+
+// detlint::allow(D4, reason = "coarse profiling timer; result never feeds the trajectory")
+use std::time::Instant;
+
+pub fn profiled() -> u128 {
+    // detlint::allow(D4, reason = "coarse profiling timer; result never feeds the trajectory")
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,12 @@
+// Fixture: linted as crates/fixpoint/src/fx32.rs — a declared quantization
+// boundary admits D1 floats and D3 casts for the whole following item.
+
+// detlint::boundary(reason = "documented f64 -> fixed quantization edge")
+pub fn from_f64(x: f64) -> i32 {
+    let scaled = x * (1u64 << 31) as f64;
+    scaled as i64 as i32
+}
+
+pub fn pure_fixed(a: i32, b: i32) -> i32 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,20 @@
+// Fixture: linted as crates/nt/src/good.rs — `#[cfg(test)]` regions are
+// exempt from every rule.
+
+pub fn shipped(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_use_anything() {
+        let t0 = Instant::now();
+        let mut seen = HashSet::new();
+        seen.insert(1.5f64.to_bits());
+        assert!(t0.elapsed().as_nanos() < u128::MAX && seen.len() == 1);
+    }
+}

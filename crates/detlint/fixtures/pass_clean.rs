@@ -1,0 +1,12 @@
+// Fixture: linted as crates/fixpoint/src/fx32.rs — plain fixed-point code
+// trips nothing, including tricky lexical look-alikes.
+
+pub fn lerp_fixed(a: i64, b: i64, t_frac: i64) -> i64 {
+    // Strings and comments may mention 1.0, f64, HashMap, Instant freely.
+    let _label = "uses f64? no: 1.0 / HashMap / Instant are just text here";
+    a.wrapping_add(((b.wrapping_sub(a) as i128 * t_frac as i128) >> 31) as i64)
+}
+
+pub fn ranges_are_not_floats(n: usize) -> usize {
+    (0..8).chain(0..n).max().unwrap_or(0)
+}

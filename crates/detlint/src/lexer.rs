@@ -1,0 +1,456 @@
+//! A small, self-contained Rust lexer.
+//!
+//! detlint cannot depend on `syn` (the workspace builds offline), and its
+//! rules are lexical anyway: float literals, `as` casts, identifier uses,
+//! comment directives. The lexer handles the full literal grammar well
+//! enough to never mis-tokenize real source: nested block comments, raw
+//! strings/identifiers, byte strings, char-vs-lifetime disambiguation,
+//! numeric literals with suffixes and exponents.
+
+/// Token classification. Comments are kept as tokens: detlint directives
+/// live in them, and line-accurate suppression needs their positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Int,
+    Float,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+    Comment,
+}
+
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let tok = if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment()
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment()
+            } else if self.raw_string_ahead() {
+                self.raw_string()
+            } else if c == 'b' && matches!(self.peek(1), Some('"') | Some('\'')) {
+                self.bump(); // consume the b prefix, then lex normally
+                if self.peek(0) == Some('"') {
+                    self.string()
+                } else {
+                    self.char_or_lifetime()
+                }
+            } else if self.raw_ident_ahead() {
+                self.bump();
+                self.bump(); // r#
+                self.ident()
+            } else if c == '"' {
+                self.string()
+            } else if c == '\'' {
+                self.char_or_lifetime()
+            } else if c.is_ascii_digit() {
+                self.number()
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident()
+            } else {
+                let c = self.bump().unwrap();
+                Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: 0,
+                    col: 0,
+                }
+            };
+            out.push(Tok { line, col, ..tok });
+        }
+        out
+    }
+
+    /// `r"..."`, `r#"..."#`, `br"..."`, `br#"..."#` ahead?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) != Some('r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// `r#ident` (raw identifier, not followed by `"` or another `#`)?
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+
+    fn line_comment(&mut self) -> Tok {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        Tok {
+            kind: TokKind::Comment,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn block_comment(&mut self) -> Tok {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump().unwrap());
+                text.push(self.bump().unwrap());
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump().unwrap());
+            }
+        }
+        Tok {
+            kind: TokKind::Comment,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn raw_string(&mut self) -> Tok {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push(self.bump().unwrap());
+        }
+        text.push(self.bump().unwrap()); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            text.push(self.bump().unwrap());
+            hashes += 1;
+        }
+        text.push(self.bump().unwrap()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut i = 0;
+                    while i < hashes && self.peek(0) == Some('#') {
+                        text.push(self.bump().unwrap());
+                        i += 1;
+                    }
+                    if i == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn string(&mut self) -> Tok {
+        let mut text = String::new();
+        text.push(self.bump().unwrap()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> Tok {
+        // `'a` (lifetime) vs `'a'` (char). A lifetime is `'` + ident with no
+        // closing quote right after the identifier.
+        let mut i = 1;
+        let is_lifetime = match self.peek(1) {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                while self
+                    .peek(i)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        let mut text = String::new();
+        if is_lifetime {
+            for _ in 0..i {
+                text.push(self.bump().unwrap());
+            }
+            return Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line: 0,
+                col: 0,
+            };
+        }
+        text.push(self.bump().unwrap()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        Tok {
+            kind: TokKind::Char,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn number(&mut self) -> Tok {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                text.push(self.bump().unwrap());
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().unwrap());
+            }
+            // Fractional part: a dot NOT starting `..` (range) or a method
+            // call / field access (`1.max(2)`, `tuple.0` never reaches here).
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        is_float = true;
+                        text.push(self.bump().unwrap());
+                        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                            text.push(self.bump().unwrap());
+                        }
+                    }
+                    Some('.') => {}
+                    Some(c) if c.is_alphabetic() || c == '_' => {}
+                    _ => {
+                        // Trailing-dot float (`2.`).
+                        is_float = true;
+                        text.push(self.bump().unwrap());
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    text.push(self.bump().unwrap());
+                    if sign {
+                        text.push(self.bump().unwrap());
+                    }
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        text.push(self.bump().unwrap());
+                    }
+                }
+            }
+        }
+        // Type suffix (`u8`, `i64`, `f64`, `usize`, ...).
+        let mut suffix = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            suffix.push(self.bump().unwrap());
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        Tok {
+            kind,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut text = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            text.push(self.bump().unwrap());
+        }
+        Tok {
+            kind: TokKind::Ident,
+            text,
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0..8 1.25 1e5 0x1e5 2.5e-3 1f64 7i32 1_000.5");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.25", "1e5", "2.5e-3", "1f64", "1_000.5"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "0x1e5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "7i32"));
+    }
+
+    #[test]
+    fn int_method_call_is_not_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".to_string()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static x: &'a str '\\n'");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static".to_string()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert_eq!(toks.last().unwrap().0, TokKind::Char);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap 1.0 // not a comment"; s"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Float && t == "1.0"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Comment));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let toks = kinds("r#\"a \" b\"# /* outer /* inner */ still */ x");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert_eq!(toks[2], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn positions_are_line_accurate() {
+        let toks = lex("a\n  b\n// c\nd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].kind, TokKind::Comment);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!((toks[3].line, toks[3].col), (4, 1));
+    }
+}

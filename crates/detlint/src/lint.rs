@@ -1,0 +1,69 @@
+//! Workspace walking and aggregation.
+
+use crate::rules::{lint_source, Allow, Boundary, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated lint result for a whole workspace tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Workspace-relative paths of every `.rs` file scanned, sorted.
+    pub files: Vec<String>,
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+    pub boundaries: Vec<Boundary>,
+}
+
+/// Directories never scanned: build output, the vendored dependency
+/// stand-ins (external API mirrors, not simulation code), VCS metadata, and
+/// detlint's own rule fixtures (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "results"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (the workspace checkout).
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceLint> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+
+    let mut ws = WorkspaceLint::default();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        let lint = lint_source(&rel, &src);
+        ws.files.push(rel);
+        ws.violations.extend(lint.violations);
+        ws.allows.extend(lint.allows);
+        ws.boundaries.extend(lint.boundaries);
+    }
+    ws.files.sort();
+    ws.violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    ws.allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    ws.boundaries
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(ws)
+}

@@ -1,0 +1,98 @@
+//! CLI: `cargo run -p detlint -- check [--root <dir>] [--json <file>] [--no-json]`
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    // When run via cargo, locate the workspace checkout relative to this
+    // crate; otherwise fall back to the current directory.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| ".".into()),
+        Err(_) => ".".into(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = default_root();
+    let mut json: Option<PathBuf> = None;
+    let mut no_json = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // `check` is the only subcommand; it may also be omitted.
+            "check" => {}
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--no-json" => no_json = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let ws = match detlint::lint_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("detlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &ws.violations {
+        println!(
+            "error[{}]: {}:{}:{}: {}",
+            v.rule, v.file, v.line, v.col, v.message
+        );
+    }
+    println!(
+        "detlint: {} files scanned, {} violation(s), {} allow(s), {} boundary item(s)",
+        ws.files.len(),
+        ws.violations.len(),
+        ws.allows.len(),
+        ws.boundaries.len()
+    );
+
+    if !no_json {
+        let path = json.unwrap_or_else(|| root.join("results/detlint_report.json"));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("detlint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, detlint::report::to_json(&ws)) {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("detlint: report written to {}", path.display());
+    }
+
+    if ws.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+fn print_usage() {
+    eprintln!("usage: detlint [check] [--root <dir>] [--json <file>] [--no-json]");
+}

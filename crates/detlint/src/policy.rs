@@ -1,0 +1,107 @@
+//! Which rules apply where.
+//!
+//! The determinism policy (DESIGN.md, "Determinism policy") splits the
+//! workspace into the *simulation path* — crates whose arithmetic must be
+//! bitwise reproducible — and everything else (reference MD, analysis,
+//! benches, tests), where ordinary floating point is fine.
+
+/// Crates on the simulation path: wall-clock reads (D4) and parallel
+/// reductions (D5) are policed here.
+pub const DET_CRATES: &[&str] = &[
+    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core",
+];
+
+/// Crates where unordered-container iteration (D2) is policed. `systems`
+/// builds the initial conditions every deterministic run starts from, so it
+/// is held to the same ordering discipline as the simulation path itself.
+pub const D2_EXTRA_CRATES: &[&str] = &["systems"];
+
+/// Files where floating point is banned outside annotated quantization
+/// boundaries (D1): the fixed-point arithmetic core and the bit-exact
+/// simulation state. The rest of the simulation path is allowed interior
+/// f64 because every value is quantized through `rounding::rne_f64` before
+/// it reaches an accumulator (see DESIGN.md).
+pub const D1_FILES: &[&str] = &[
+    "crates/fixpoint/src/lib.rs",
+    "crates/fixpoint/src/fx32.rs",
+    "crates/fixpoint/src/q.rs",
+    "crates/fixpoint/src/fxvec.rs",
+    "crates/core/src/state.rs",
+];
+
+/// The one module where lossy integer `as` casts are audited by hand (D3
+/// does not apply): every rounding primitive lives here.
+pub const D3_AUDITED: &str = "crates/fixpoint/src/rounding.rs";
+
+/// Narrowing / sign-changing `as` targets flagged by D3.
+pub const NARROW_INT_TARGETS: &[&str] = &["i8", "i16", "i32", "u8", "u16", "u32", "isize", "usize"];
+
+/// Wall-clock and concurrency-topology identifiers flagged by D4.
+pub const D4_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "available_parallelism",
+    "thread_rng",
+    "num_cpus",
+];
+
+/// Rayon parallel-iterator entry points scanned by D5.
+pub const D5_PAR_IDENTS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_bridge",
+];
+
+/// Reduction combinators that are order-sensitive over floats.
+pub const D5_REDUCERS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// `crates/<name>/...` → `<name>`.
+pub fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Rules only police shipped simulation code: `crates/<c>/src/**`.
+/// Integration tests, benches and binaries compare against f64 references
+/// by design, and `#[cfg(test)]` regions inside src are skipped separately.
+fn in_src(rel: &str) -> bool {
+    crate_of(rel).is_some_and(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+pub fn d1_applies(rel: &str) -> bool {
+    D1_FILES.contains(&rel)
+}
+
+pub fn d2_applies(rel: &str) -> bool {
+    in_src(rel)
+        && crate_of(rel).is_some_and(|c| DET_CRATES.contains(&c) || D2_EXTRA_CRATES.contains(&c))
+}
+
+pub fn d3_applies(rel: &str) -> bool {
+    in_src(rel) && crate_of(rel) == Some("fixpoint") && rel != D3_AUDITED
+}
+
+pub fn d4_applies(rel: &str) -> bool {
+    in_src(rel) && crate_of(rel).is_some_and(|c| DET_CRATES.contains(&c))
+}
+
+pub fn d5_applies(rel: &str) -> bool {
+    in_src(rel) && crate_of(rel).is_some_and(|c| DET_CRATES.contains(&c))
+}
+
+/// One-line description per rule, embedded in the JSON report.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "D1" => "no floating point in fixed-point core / bit-exact state outside annotated quantization boundaries",
+        "D2" => "no HashMap/HashSet in deterministic crates (unordered iteration)",
+        "D3" => "no lossy integer `as` casts in fixpoint outside the audited rounding module",
+        "D4" => "no wall-clock or thread-topology reads on the simulation path",
+        "D5" => "no order-sensitive parallel reductions on the simulation path",
+        "META" => "malformed or incomplete detlint directive",
+        _ => "unknown rule",
+    }
+}
+
+pub const ALL_RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5", "META"];

@@ -1,0 +1,550 @@
+//! The rule engine: directive parsing, region computation, and the five
+//! determinism rules D1–D5 (plus META for malformed directives).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::policy;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule id: "D1".."D5" or "META".
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// A parsed `// detlint::allow(<rule>, reason = "...")` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// A parsed `// detlint::boundary(reason = "...")` directive: declares the
+/// next item a quantization boundary where D1/D3 are permitted.
+#[derive(Clone, Debug)]
+pub struct Boundary {
+    pub file: String,
+    pub line: u32,
+    /// Last line of the item the boundary covers.
+    pub end_line: u32,
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+    pub boundaries: Vec<Boundary>,
+}
+
+/// Lint a single source text as if it lived at `rel_path` (workspace-relative,
+/// forward slashes). This is the unit the fixture tests drive directly.
+pub fn lint_source(rel_path: &str, src: &str) -> FileLint {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+
+    let mut out = FileLint::default();
+    let directives = parse_directives(rel_path, &toks, &code, &mut out);
+    let test_regions = find_test_regions(&code);
+
+    let mut allowed_lines: Vec<(&'static str, u32)> = Vec::new();
+    for (rule, line) in &directives.allows {
+        allowed_lines.push((rule, *line));
+        if let Some(next) = code.iter().map(|t| t.line).find(|&l| l > *line) {
+            allowed_lines.push((rule, next));
+        }
+    }
+
+    let in_tests = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+    let in_boundary = |line: u32| {
+        out.boundaries
+            .iter()
+            .any(|b| (b.line..=b.end_line).contains(&line))
+    };
+    let allowed =
+        |rule: &str, line: u32| allowed_lines.iter().any(|&(r, l)| r == rule && l == line);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    if policy::d1_applies(rel_path) {
+        rule_d1(rel_path, &code, &mut raw);
+    }
+    if policy::d2_applies(rel_path) {
+        rule_d2(rel_path, &code, &mut raw);
+    }
+    if policy::d3_applies(rel_path) {
+        rule_d3(rel_path, &code, &mut raw);
+    }
+    if policy::d4_applies(rel_path) {
+        rule_d4(rel_path, &code, &mut raw);
+    }
+    if policy::d5_applies(rel_path) {
+        rule_d5(rel_path, &code, &mut raw);
+    }
+
+    let mut seen_lines: Vec<(&'static str, u32)> = Vec::new();
+    for v in raw {
+        if in_tests(v.line) {
+            continue;
+        }
+        if matches!(v.rule, "D1" | "D3") && in_boundary(v.line) {
+            continue;
+        }
+        if allowed(v.rule, v.line) {
+            continue;
+        }
+        // One diagnostic per (rule, line): a single expression can trip the
+        // same rule many times and the extra reports are noise.
+        if seen_lines.contains(&(v.rule, v.line)) {
+            continue;
+        }
+        seen_lines.push((v.rule, v.line));
+        out.violations.push(v);
+    }
+    out.violations
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+struct Directives {
+    /// (rule, directive line) for each well-formed allow.
+    allows: Vec<(&'static str, u32)>,
+}
+
+const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
+
+fn intern_rule(name: &str) -> Option<&'static str> {
+    RULE_IDS.iter().find(|&&r| r == name).copied()
+}
+
+fn parse_directives(rel_path: &str, toks: &[Tok], code: &[&Tok], out: &mut FileLint) -> Directives {
+    let mut allows = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        // A directive is a plain `//` line comment whose text starts with
+        // `detlint::`. Doc comments and prose that merely *mention* the
+        // syntax are not directives.
+        let Some(body) = t.text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("detlint::") else {
+            continue;
+        };
+        let meta = |msg: String| Violation {
+            rule: "META",
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: msg,
+        };
+        let (kind, rest) = if let Some(r) = rest.strip_prefix("allow") {
+            ("allow", r)
+        } else if let Some(r) = rest.strip_prefix("boundary") {
+            ("boundary", r)
+        } else {
+            out.violations.push(meta(format!(
+                "unknown detlint directive; expected `detlint::allow(...)` or \
+                 `detlint::boundary(...)`, found `detlint::{}`",
+                rest.split(|c: char| !c.is_alphanumeric() && c != '_')
+                    .next()
+                    .unwrap_or("")
+            )));
+            continue;
+        };
+        let Some(args) = paren_args(rest) else {
+            out.violations.push(meta(format!(
+                "malformed `detlint::{kind}` directive: expected `({})`",
+                if kind == "allow" {
+                    "<rule>, reason = \"...\""
+                } else {
+                    "reason = \"...\""
+                }
+            )));
+            continue;
+        };
+        let reason = args.iter().find_map(|a| kv_reason(a));
+        match kind {
+            "allow" => {
+                let rule = args.first().and_then(|a| intern_rule(a.trim()));
+                match (rule, reason) {
+                    (Some(rule), Some(reason)) => {
+                        allows.push((rule, t.line));
+                        out.allows.push(Allow {
+                            rule,
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            reason,
+                        });
+                    }
+                    (None, _) => out.violations.push(meta(format!(
+                        "`detlint::allow` needs a rule id (D1..D5) as its first \
+                         argument, found `{}`",
+                        args.first().map(|s| s.trim()).unwrap_or("")
+                    ))),
+                    (_, None) => out.violations.push(meta(
+                        "`detlint::allow` requires `reason = \"...\"`: every \
+                         suppression must say why it is sound"
+                            .to_string(),
+                    )),
+                }
+            }
+            _ => match reason {
+                Some(reason) => {
+                    let end_line = boundary_end(code, t.line).unwrap_or(t.line);
+                    out.boundaries.push(Boundary {
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        end_line,
+                        reason,
+                    });
+                }
+                None => out.violations.push(meta(
+                    "`detlint::boundary` requires `reason = \"...\"`: every \
+                     quantization boundary must be justified"
+                        .to_string(),
+                )),
+            },
+        }
+    }
+    Directives { allows }
+}
+
+/// Split `(a, b, c)` at the head of `s` into top-level comma-separated args,
+/// honoring string quotes. Returns None if the parens are missing/unclosed.
+fn paren_args(s: &str) -> Option<Vec<String>> {
+    let s = s.trim_start();
+    let mut chars = s.chars();
+    if chars.next() != Some('(') {
+        return None;
+    }
+    let mut args = vec![String::new()];
+    let mut depth = 1u32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in chars {
+        if in_str {
+            args.last_mut().unwrap().push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                args.last_mut().unwrap().push(c);
+            }
+            '(' => {
+                depth += 1;
+                args.last_mut().unwrap().push(c);
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(args);
+                }
+                args.last_mut().unwrap().push(c);
+            }
+            ',' if depth == 1 => args.push(String::new()),
+            _ => args.last_mut().unwrap().push(c),
+        }
+    }
+    None
+}
+
+/// Parse `reason = "..."` returning the quoted text.
+fn kv_reason(arg: &str) -> Option<String> {
+    let rest = arg.trim().strip_prefix("reason")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    let reason = &rest[..end];
+    if reason.trim().is_empty() {
+        return None;
+    }
+    Some(reason.to_string())
+}
+
+/// End line of the item following a boundary directive on `line`: the
+/// matching `}` of the item's body, or the first `;` at depth 0 (depth
+/// counts all delimiters, so the `;` in `[f64; 3]` does not terminate).
+fn boundary_end(code: &[&Tok], line: u32) -> Option<u32> {
+    let start = code.iter().position(|t| t.line > line)?;
+    scan_item(&code[start..]).or_else(|| code.last().map(|t| t.line))
+}
+
+/// Shared item-extent scan: returns the line of the `}` closing the first
+/// brace group, or of a `;` at delimiter depth 0, whichever comes first.
+fn scan_item(code: &[&Tok]) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut opened_brace = false;
+    for t in code {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    depth += 1;
+                    opened_brace = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 && opened_brace {
+                        return Some(t.line);
+                    }
+                }
+                ";" if depth == 0 => return Some(t.line),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Test regions
+// ---------------------------------------------------------------------------
+
+/// Line spans of items annotated `#[cfg(test)]` (typically `mod tests`),
+/// where the determinism rules do not apply.
+fn find_test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_punct(code, i, "#")
+            && is_punct(code, i + 1, "[")
+            && is_ident(code, i + 2, "cfg")
+            && is_punct(code, i + 3, "(")
+        {
+            if let Some(close_paren) = match_group(code, i + 3, "(", ")") {
+                let mentions_test = code[i + 3..=close_paren]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "test");
+                if mentions_test {
+                    if let Some(close_bracket) = match_group(code, i + 1, "[", "]") {
+                        if let Some(end_line) = item_end_line(code, close_bracket + 1) {
+                            regions.push((code[i].line, end_line));
+                            let next = code
+                                .iter()
+                                .position(|t| t.line > end_line)
+                                .unwrap_or(code.len());
+                            i = next.max(i + 1);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn is_punct(code: &[&Tok], i: usize, p: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+fn is_ident(code: &[&Tok], i: usize, name: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// Index of the token closing the group opened at `open_at`.
+fn match_group(code: &[&Tok], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open_at) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Line of the token ending the item starting at `from` (skipping any
+/// further attributes): the `}` closing its body, or a `;` at depth 0.
+fn item_end_line(code: &[&Tok], mut from: usize) -> Option<u32> {
+    while is_punct(code, from, "#") && is_punct(code, from + 1, "[") {
+        from = match_group(code, from + 1, "[", "]")? + 1;
+    }
+    scan_item(&code[from..])
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn push(raw: &mut Vec<Violation>, rule: &'static str, file: &str, t: &Tok, message: String) {
+    raw.push(Violation {
+        rule,
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    });
+}
+
+/// D1: no floats in the fixed-point core / bit-exact state.
+fn rule_d1(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for t in code {
+        match t.kind {
+            TokKind::Float => push(
+                raw,
+                "D1",
+                file,
+                t,
+                format!(
+                    "float literal `{}` in a bit-exact module; move it behind a \
+                     `detlint::boundary` quantization boundary or express it in \
+                     fixed point",
+                    t.text
+                ),
+            ),
+            TokKind::Ident if t.text == "f32" || t.text == "f64" => push(
+                raw,
+                "D1",
+                file,
+                t,
+                format!(
+                    "floating-point type `{}` in a bit-exact module; only \
+                     annotated quantization boundaries may convert to/from floats",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// D2: no unordered containers in deterministic crates.
+fn rule_d2(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for t in code {
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            push(
+                raw,
+                "D2",
+                file,
+                t,
+                format!(
+                    "`{}` in a deterministic crate: iteration order varies run to \
+                     run; use BTreeMap/BTreeSet or a sorted Vec (or allow with a \
+                     proof the use never iterates)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D3: no lossy integer `as` casts in fixpoint outside `rounding.rs`.
+fn rule_d3(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for i in 0..code.len() {
+        if code[i].kind == TokKind::Ident && code[i].text == "as" {
+            if let Some(next) = code.get(i + 1) {
+                if next.kind == TokKind::Ident
+                    && policy::NARROW_INT_TARGETS.contains(&next.text.as_str())
+                {
+                    push(
+                        raw,
+                        "D3",
+                        file,
+                        code[i],
+                        format!(
+                            "lossy `as {}` cast outside the audited rounding \
+                             module; use the `rounding` helpers (rne_shr_*) or a \
+                             checked conversion",
+                            next.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// D4: no wall-clock / thread-topology reads on the simulation path.
+fn rule_d4(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for t in code {
+        if t.kind == TokKind::Ident && policy::D4_IDENTS.contains(&t.text.as_str()) {
+            push(
+                raw,
+                "D4",
+                file,
+                t,
+                format!(
+                    "`{}` on the simulation path: wall-clock and thread-topology \
+                     reads make behavior depend on the host, not the state",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D5: no order-sensitive reductions downstream of a rayon parallel iterator.
+fn rule_d5(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident || !policy::D5_PAR_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Scan the rest of the statement (to `;` at relative depth 0) for an
+        // order-sensitive combinator.
+        let mut depth = 0i32;
+        for u in code.iter().skip(i + 1) {
+            if u.kind == TokKind::Punct {
+                match u.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if u.kind == TokKind::Ident
+                && depth == 0
+                && policy::D5_REDUCERS.contains(&u.text.as_str())
+            {
+                push(
+                    raw,
+                    "D5",
+                    file,
+                    t,
+                    format!(
+                        "parallel `{}` feeds `{}`: reduction order depends on \
+                         work stealing, which is non-associative over floats; \
+                         reduce in fixed point or impose a deterministic split",
+                        t.text, u.text
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}

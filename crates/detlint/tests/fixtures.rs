@@ -1,0 +1,159 @@
+//! Fixture-driven tests: one pass and one fail case per rule, driven
+//! through the public `lint_source` API with a virtual workspace path.
+
+use detlint::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rules_hit(virtual_path: &str, name: &str) -> Vec<(String, u32)> {
+    lint_source(virtual_path, &fixture(name))
+        .violations
+        .iter()
+        .map(|v| (v.rule.to_string(), v.line))
+        .collect()
+}
+
+#[test]
+fn d1_flags_floats_in_fixed_point_core() {
+    let hits = rules_hit("crates/fixpoint/src/fx32.rs", "fail_d1_float.rs");
+    assert_eq!(hits, [("D1".into(), 4), ("D1".into(), 5), ("D1".into(), 8)]);
+}
+
+#[test]
+fn d1_does_not_police_non_core_files() {
+    // Same source under a crate outside the D1 file list: no violations.
+    let hits = rules_hit("crates/refmd/src/anything.rs", "fail_d1_float.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
+fn d2_flags_unordered_containers() {
+    let hits = rules_hit("crates/nt/src/bad.rs", "fail_d2_hashmap.rs");
+    assert_eq!(hits, [("D2".into(), 4), ("D2".into(), 6)]);
+}
+
+#[test]
+fn d2_covers_systems_but_not_refmd() {
+    assert_eq!(
+        rules_hit("crates/systems/src/bad.rs", "fail_d2_hashmap.rs"),
+        [("D2".into(), 4), ("D2".into(), 6)]
+    );
+    assert_eq!(
+        rules_hit("crates/refmd/src/ok.rs", "fail_d2_hashmap.rs"),
+        []
+    );
+}
+
+#[test]
+fn d3_flags_lossy_casts_outside_rounding() {
+    let hits = rules_hit("crates/fixpoint/src/bad.rs", "fail_d3_cast.rs");
+    assert_eq!(hits, [("D3".into(), 5)]);
+}
+
+#[test]
+fn d3_exempts_the_audited_rounding_module() {
+    let hits = rules_hit("crates/fixpoint/src/rounding.rs", "fail_d3_cast.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
+fn d4_flags_wall_clock_and_thread_topology() {
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d4_instant.rs");
+    assert_eq!(hits, [("D4".into(), 4), ("D4".into(), 7), ("D4".into(), 8)]);
+}
+
+#[test]
+fn d5_flags_parallel_float_reductions() {
+    let hits = rules_hit("crates/ewald/src/bad.rs", "fail_d5_rayon.rs");
+    assert_eq!(hits, [("D5".into(), 5)]);
+}
+
+#[test]
+fn meta_flags_malformed_directives() {
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_meta_directives.rs");
+    let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, ["META", "META", "META", "META"]);
+}
+
+#[test]
+fn allow_suppresses_exactly_its_rule_and_records_reason() {
+    let lint = lint_source("crates/ewald/src/good.rs", &fixture("pass_allowed.rs"));
+    assert_eq!(lint.violations, []);
+    assert_eq!(lint.allows.len(), 2);
+    assert!(lint
+        .allows
+        .iter()
+        .all(|a| a.rule == "D4" && !a.reason.is_empty()));
+}
+
+#[test]
+fn allow_for_the_wrong_rule_does_not_suppress() {
+    let src = fixture("pass_allowed.rs").replace("allow(D4", "allow(D2");
+    let lint = lint_source("crates/ewald/src/good.rs", &src);
+    assert!(lint.violations.iter().all(|v| v.rule == "D4"));
+    assert_eq!(lint.violations.len(), 2);
+}
+
+#[test]
+fn boundary_admits_d1_and_d3_for_the_item() {
+    let lint = lint_source("crates/fixpoint/src/fx32.rs", &fixture("pass_boundary.rs"));
+    assert_eq!(lint.violations, []);
+    assert_eq!(lint.boundaries.len(), 1);
+    let b = &lint.boundaries[0];
+    assert!(
+        b.end_line > b.line,
+        "boundary should span the following item"
+    );
+}
+
+#[test]
+fn boundary_does_not_leak_past_its_item() {
+    // Append a float after the boundary item: it must be flagged.
+    let src = format!(
+        "{}\npub fn leak() -> f64 {{ 0.25 }}\n",
+        fixture("pass_boundary.rs")
+    );
+    let lint = lint_source("crates/fixpoint/src/fx32.rs", &src);
+    assert_eq!(lint.violations.len(), 1);
+    assert_eq!(lint.violations[0].rule, "D1");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let lint = lint_source("crates/nt/src/good.rs", &fixture("pass_cfg_test.rs"));
+    assert_eq!(lint.violations, []);
+}
+
+#[test]
+fn clean_fixed_point_code_passes() {
+    let lint = lint_source("crates/fixpoint/src/fx32.rs", &fixture("pass_clean.rs"));
+    assert_eq!(lint.violations, []);
+}
+
+/// The real workspace must be clean: this is the same gate as
+/// `cargo run -p detlint -- check`, run as a plain unit test so `cargo test`
+/// alone already enforces the determinism policy.
+#[test]
+fn workspace_is_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let ws = detlint::lint_workspace(std::path::Path::new(&root)).expect("scan workspace");
+    assert!(
+        ws.files.len() > 50,
+        "workspace scan looks wrong: only {} files",
+        ws.files.len()
+    );
+    let rendered: Vec<String> = ws
+        .violations
+        .iter()
+        .map(|v| format!("[{}] {}:{}:{} {}", v.rule, v.file, v.line, v.col, v.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "determinism violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(ws.allows.iter().all(|a| !a.reason.trim().is_empty()));
+}

@@ -15,7 +15,8 @@ pub fn erfc_fast(x: f64) -> f64 {
     debug_assert!(x >= 0.0);
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     poly * (-x * x).exp()
 }
 
@@ -43,11 +44,19 @@ pub struct DirectKernel {
 
 impl DirectKernel {
     pub fn new(beta: f64, cutoff: f64) -> DirectKernel {
-        DirectKernel { beta, cutoff, fast_erfc: true }
+        DirectKernel {
+            beta,
+            cutoff,
+            fast_erfc: true,
+        }
     }
 
     pub fn reference(beta: f64, cutoff: f64) -> DirectKernel {
-        DirectKernel { beta, cutoff, fast_erfc: false }
+        DirectKernel {
+            beta,
+            cutoff,
+            fast_erfc: false,
+        }
     }
 
     #[inline]
@@ -108,7 +117,10 @@ impl DirectKernel {
         let inv_r6 = inv_r2 * inv_r2 * inv_r2;
         let e_lj = lj_a * inv_r6 * inv_r6 - lj_b * inv_r6;
         let f_lj = (12.0 * lj_a * inv_r6 * inv_r6 - 6.0 * lj_b * inv_r6) * inv_r2;
-        (scale_elec * e_c + scale_lj * e_lj, scale_elec * f_c + scale_lj * f_lj)
+        (
+            scale_elec * e_c + scale_lj * e_lj,
+            scale_elec * f_c + scale_lj * f_lj,
+        )
     }
 }
 

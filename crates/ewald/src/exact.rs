@@ -55,8 +55,7 @@ pub fn ewald_kspace(
                 // F_i = -(q_i/V) a [sin(k·r_i) S_re - cos(k·r_i) S_im] k.
                 for (i, (p, &q)) in positions.iter().zip(charges).enumerate() {
                     let phase = k.dot(*p);
-                    let coeff =
-                        q / v * a * (phase.sin() * s_re - phase.cos() * s_im) * COULOMB;
+                    let coeff = q / v * a * (phase.sin() * s_re - phase.cos() * s_im) * COULOMB;
                     forces[i] += k * coeff;
                 }
             }
@@ -80,8 +79,8 @@ pub fn ewald_total(
     let mut forces = vec![Vec3::ZERO; n];
     let mut energy = ewald_kspace(pbox, positions, charges, beta, kmax, &mut forces);
     // Self energy.
-    energy -= COULOMB * beta / std::f64::consts::PI.sqrt()
-        * charges.iter().map(|q| q * q).sum::<f64>();
+    energy -=
+        COULOMB * beta / std::f64::consts::PI.sqrt() * charges.iter().map(|q| q * q).sum::<f64>();
     // Direct space.
     let c2 = cutoff * cutoff;
     let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();

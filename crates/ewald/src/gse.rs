@@ -60,7 +60,12 @@ impl GseParams {
         // never wider than the truncation radius allows (4.2 σ).
         let sigma_s = (0.98 * (sigma2 / 2.0).sqrt()).min(spread_cutoff / 4.2);
         let sigma_r2 = (sigma2 - 2.0 * sigma_s * sigma_s).max(0.0);
-        GseParams { beta, sigma_s, sigma_r2, spread_cutoff }
+        GseParams {
+            beta,
+            sigma_s,
+            sigma_r2,
+            spread_cutoff,
+        }
     }
 
     /// The per-axis window: a truncated, shifted Gaussian
@@ -94,7 +99,8 @@ impl GseParams {
         let s = self.sigma_s;
         let rt = self.spread_cutoff;
         let shift = (-rt * rt / (2.0 * s * s)).exp();
-        let integral_1d = s * (2.0 * std::f64::consts::PI).sqrt()
+        let integral_1d = s
+            * (2.0 * std::f64::consts::PI).sqrt()
             * anton_forcefield::units::erf(rt / (s * std::f64::consts::SQRT_2))
             - 2.0 * rt * shift;
         1.0 / (integral_1d * integral_1d * integral_1d)
@@ -137,7 +143,12 @@ impl GseReference {
         let [nx, ny, nz] = mesh.dims;
         let fft = Fft3d::new(nx, ny, nz);
         let green = build_green_table(&mesh, &params);
-        GseReference { mesh, params, fft, green }
+        GseReference {
+            mesh,
+            params,
+            fft,
+            green,
+        }
     }
 
     /// Compute reciprocal-space energy and add forces into `forces`.
@@ -177,10 +188,13 @@ impl GseReference {
             forces[i] += f * (q * norm * vc * COULOMB);
         }
 
-        let self_energy =
-            COULOMB * self.params.beta / std::f64::consts::PI.sqrt()
-                * charges.iter().map(|q| q * q).sum::<f64>();
-        RecipEnergy { mesh_energy, self_energy, energy: mesh_energy - self_energy }
+        let self_energy = COULOMB * self.params.beta / std::f64::consts::PI.sqrt()
+            * charges.iter().map(|q| q * q).sum::<f64>();
+        RecipEnergy {
+            mesh_energy,
+            self_energy,
+            energy: mesh_energy - self_energy,
+        }
     }
 
     /// Interpolated potential at an arbitrary point (used by tests).
@@ -387,16 +401,13 @@ impl GseFixed {
                 f -= phi * 1.0 * dw;
             });
             let qn = q * norm * vc * COULOMB;
-            let e_i = 0.5 * e * qn
-                - COULOMB * self.params.beta / std::f64::consts::PI.sqrt() * q * q;
+            let e_i =
+                0.5 * e * qn - COULOMB * self.params.beta / std::f64::consts::PI.sqrt() * q * q;
             energy_q = energy_q.wrapping_add(rne_f64(e_i * (1u64 << 32) as f64) as i64);
             let fs = (1i64 << force_frac) as f64;
-            forces_raw[i][0] =
-                forces_raw[i][0].wrapping_add(rne_f64(f.x * qn * fs) as i64);
-            forces_raw[i][1] =
-                forces_raw[i][1].wrapping_add(rne_f64(f.y * qn * fs) as i64);
-            forces_raw[i][2] =
-                forces_raw[i][2].wrapping_add(rne_f64(f.z * qn * fs) as i64);
+            forces_raw[i][0] = forces_raw[i][0].wrapping_add(rne_f64(f.x * qn * fs) as i64);
+            forces_raw[i][1] = forces_raw[i][1].wrapping_add(rne_f64(f.y * qn * fs) as i64);
+            forces_raw[i][2] = forces_raw[i][2].wrapping_add(rne_f64(f.z * qn * fs) as i64);
         }
         energy_q
     }
@@ -460,11 +471,7 @@ mod tests {
     use anton_geometry::PeriodicBox;
     use rand::{Rng, SeedableRng};
 
-    fn random_neutral_system(
-        n: usize,
-        edge: f64,
-        seed: u64,
-    ) -> (PeriodicBox, Vec<Vec3>, Vec<f64>) {
+    fn random_neutral_system(n: usize, edge: f64, seed: u64) -> (PeriodicBox, Vec<Vec3>, Vec<f64>) {
         let pbox = PeriodicBox::cubic(edge);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let pos: Vec<Vec3> = (0..n)
@@ -476,7 +483,9 @@ mod tests {
                 )
             })
             .collect();
-        let mut q: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let mut q: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         // jitter charges but stay neutral
         for i in 0..n / 2 {
             let dq = (rng.gen::<f64>() - 0.5) * 0.2;
@@ -525,7 +534,12 @@ mod tests {
                 * q.iter().map(|x| x * x).sum::<f64>();
 
         let rel_e = (r.energy - e_exact_minus_self).abs() / e_exact_minus_self.abs();
-        assert!(rel_e < 2e-3, "energy rel err {rel_e:e}: {} vs {}", r.energy, e_exact_minus_self);
+        assert!(
+            rel_e < 2e-3,
+            "energy rel err {rel_e:e}: {} vs {}",
+            r.energy,
+            e_exact_minus_self
+        );
 
         let mut num = 0.0;
         let mut den = 0.0;

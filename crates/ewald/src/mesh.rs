@@ -12,7 +12,10 @@ pub struct Mesh {
 
 impl Mesh {
     pub fn new(dims: [usize; 3], pbox: PeriodicBox) -> Mesh {
-        assert!(dims.iter().all(|&d| d.is_power_of_two()), "mesh dims must be powers of two");
+        assert!(
+            dims.iter().all(|&d| d.is_power_of_two()),
+            "mesh dims must be powers of two"
+        );
         Mesh { dims, pbox }
     }
 
@@ -30,7 +33,11 @@ impl Mesh {
     #[inline]
     pub fn spacing(&self) -> Vec3 {
         let e = self.pbox.edge();
-        Vec3::new(e.x / self.dims[0] as f64, e.y / self.dims[1] as f64, e.z / self.dims[2] as f64)
+        Vec3::new(
+            e.x / self.dims[0] as f64,
+            e.y / self.dims[1] as f64,
+            e.z / self.dims[2] as f64,
+        )
     }
 
     /// Volume per mesh cell (Å³).

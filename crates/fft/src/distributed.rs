@@ -62,14 +62,18 @@ impl DistributedFft3d {
     pub fn new(mesh: [usize; 3], nodes: [usize; 3]) -> DistributedFft3d {
         for a in 0..3 {
             assert!(
-                mesh[a] % nodes[a] == 0 && nodes[a] >= 1,
+                mesh[a].is_multiple_of(nodes[a]) && nodes[a] >= 1,
                 "node grid {nodes:?} must divide mesh {mesh:?}"
             );
         }
         DistributedFft3d {
             mesh,
             nodes,
-            plans: [Fft1d::new(mesh[0]), Fft1d::new(mesh[1]), Fft1d::new(mesh[2])],
+            plans: [
+                Fft1d::new(mesh[0]),
+                Fft1d::new(mesh[1]),
+                Fft1d::new(mesh[2]),
+            ],
             bytes_per_point: 8,
         }
     }
@@ -80,7 +84,9 @@ impl DistributedFft3d {
 
     /// Mesh points owned by each node.
     pub fn points_per_node(&self) -> usize {
-        (self.mesh[0] / self.nodes[0]) * (self.mesh[1] / self.nodes[1]) * (self.mesh[2] / self.nodes[2])
+        (self.mesh[0] / self.nodes[0])
+            * (self.mesh[1] / self.nodes[1])
+            * (self.mesh[2] / self.nodes[2])
     }
 
     /// Forward transform; returns communication statistics. `data` is the
@@ -129,9 +135,8 @@ impl DistributedFft3d {
         let mut bytes_per_node = vec![0u64; self.node_count()];
         let mut line = vec![Complex::ZERO; n_axis];
 
-        let node_id = |c: [usize; 3]| -> usize {
-            (c[2] * self.nodes[1] + c[1]) * self.nodes[0] + c[0]
-        };
+        let node_id =
+            |c: [usize; 3]| -> usize { (c[2] * self.nodes[1] + c[1]) * self.nodes[0] + c[0] };
 
         for v in 0..nv {
             for u in 0..nu {
@@ -218,8 +223,12 @@ mod tests {
         dist.forward(&mut a);
         serial.forward(&mut b);
         assert_eq!(
-            a.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>(),
-            b.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>()
+            a.iter()
+                .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -253,7 +262,9 @@ mod tests {
         let mesh = [8usize, 8, 8];
         let dist = DistributedFft3d::new(mesh, [2, 2, 2]);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(22);
-        let x: Vec<Complex> = (0..512).map(|_| Complex::new(rng.gen::<f64>(), 0.0)).collect();
+        let x: Vec<Complex> = (0..512)
+            .map(|_| Complex::new(rng.gen::<f64>(), 0.0))
+            .collect();
         let mut y = x.clone();
         dist.forward(&mut y);
         dist.inverse(&mut y);

@@ -15,16 +15,24 @@ pub struct Fft1d {
 
 impl Fft1d {
     pub fn new(n: usize) -> Fft1d {
-        assert!(n.is_power_of_two() && n >= 1, "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 1,
+            "FFT length must be a power of two, got {n}"
+        );
         let log2n = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|j| Complex::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
             .collect();
         let bitrev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - log2n.max(1)) as u32)
+            .map(|i| i.reverse_bits() >> (32 - log2n.max(1)))
             .map(|i| if n == 1 { 0 } else { i })
             .collect();
-        Fft1d { n, log2n, twiddles, bitrev }
+        Fft1d {
+            n,
+            log2n,
+            twiddles,
+            bitrev,
+        }
     }
 
     #[inline]
@@ -107,8 +115,9 @@ mod tests {
     fn matches_naive_dft() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
         for &n in &[1usize, 2, 4, 8, 32, 64, 128] {
-            let x: Vec<Complex> =
-                (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+            let x: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+                .collect();
             let mut got = x.clone();
             Fft1d::new(n).forward(&mut got);
             let want = naive_dft(&x);
@@ -122,8 +131,9 @@ mod tests {
     fn roundtrip_is_identity() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
         let n = 64;
-        let x: Vec<Complex> =
-            (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
         let plan = Fft1d::new(n);
         let mut y = x.clone();
         plan.forward(&mut y);
@@ -137,8 +147,9 @@ mod tests {
     fn parseval_holds() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
         let n = 32;
-        let x: Vec<Complex> =
-            (0..n).map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
         let mut y = x.clone();
         Fft1d::new(n).forward(&mut y);
         let time: f64 = x.iter().map(|v| v.norm2()).sum();

@@ -16,7 +16,14 @@ pub struct Fft3d {
 
 impl Fft3d {
     pub fn new(nx: usize, ny: usize, nz: usize) -> Fft3d {
-        Fft3d { nx, ny, nz, px: Fft1d::new(nx), py: Fft1d::new(ny), pz: Fft1d::new(nz) }
+        Fft3d {
+            nx,
+            ny,
+            nz,
+            px: Fft1d::new(nx),
+            py: Fft1d::new(ny),
+            pz: Fft1d::new(nz),
+        }
     }
 
     pub fn cubic(n: usize) -> Fft3d {
@@ -133,9 +140,8 @@ mod tests {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * x + ky * y + kz * z) as f64
-                        / n as f64;
+                    let phase =
+                        2.0 * std::f64::consts::PI * (kx * x + ky * y + kz * z) as f64 / n as f64;
                     data[plan.index(x, y, z)] = Complex::cis(phase);
                 }
             }
@@ -160,8 +166,9 @@ mod tests {
     fn real_input_has_hermitian_spectrum() {
         let plan = Fft3d::cubic(8);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
-        let mut data: Vec<Complex> =
-            (0..plan.len()).map(|_| Complex::new(rng.gen::<f64>() - 0.5, 0.0)).collect();
+        let mut data: Vec<Complex> = (0..plan.len())
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, 0.0))
+            .collect();
         plan.forward(&mut data);
         let n = 8;
         for z in 0..n {

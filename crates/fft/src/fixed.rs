@@ -87,8 +87,14 @@ impl FxFft {
                 )
             })
             .collect();
-        let bitrev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - log2n)).collect();
-        FxFft { n, twiddles, bitrev }
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - log2n))
+            .collect();
+        FxFft {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     #[inline]
@@ -168,7 +174,9 @@ mod tests {
 
     fn to_f64(x: &[FxComplex]) -> Vec<Complex> {
         let s = 1.0 / (1i64 << DATA_FRAC) as f64;
-        x.iter().map(|c| Complex::new(c.re as f64 * s, c.im as f64 * s)).collect()
+        x.iter()
+            .map(|c| Complex::new(c.re as f64 * s, c.im as f64 * s))
+            .collect()
     }
 
     #[test]

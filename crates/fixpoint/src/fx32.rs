@@ -19,11 +19,14 @@ impl Fx32 {
     /// Number of fraction bits.
     pub const FRAC: u32 = 31;
     /// Smallest representable increment (2^-31).
+    // detlint::boundary(reason = "grid-spacing constant used only when quantizing at the f64 edge")
     pub const EPSILON: f64 = 1.0 / (1u64 << 31) as f64;
 
     /// Quantize an `f64` in (approximately) `[-1, 1)` to the fraction grid
     /// with round-to-nearest/even, wrapping values outside the range onto the
     /// periodic interval.
+    // detlint::boundary(reason = "the f64 -> fraction quantization edge; rounds via rne_f64 before any accumulation")
+    #[allow(clippy::float_arithmetic, clippy::cast_possible_truncation)]
     #[inline]
     pub fn from_f64_wrapped(x: f64) -> Fx32 {
         // Reduce to [-1, 1) first so the scaled value fits comfortably in i64.
@@ -33,6 +36,8 @@ impl Fx32 {
     }
 
     /// The real value represented, in `[-1, 1)`.
+    // detlint::boundary(reason = "exact fraction -> f64 decode (31 bits fit a double); read-only, never accumulated back")
+    #[allow(clippy::float_arithmetic)]
     #[inline]
     pub fn to_f64(self) -> f64 {
         self.0 as f64 * Self::EPSILON
@@ -61,9 +66,13 @@ impl Fx32 {
     /// Multiply two fractions with round-to-nearest/even; the result is again
     /// a fraction (cannot overflow except for `-1 * -1`, which wraps to `-1`
     /// just as the hardware would).
+    // Deliberately not `impl Mul`: the wrapping, rounding semantics should
+    // be spelled out at call sites. The i32 narrowing is exact (see allow).
+    #[allow(clippy::should_implement_trait, clippy::cast_possible_truncation)]
     #[inline]
     pub fn mul(self, rhs: Fx32) -> Fx32 {
         let prod = self.0 as i64 * rhs.0 as i64;
+        // detlint::allow(D3, reason = "rne_shr_i64(prod, 31) of a fraction product fits i32 by construction; -1 * -1 wrap is the documented periodic identity")
         Fx32(rne_shr_i64(prod, 31) as i32)
     }
 
@@ -84,6 +93,8 @@ impl core::fmt::Debug for Fx32 {
 }
 
 #[cfg(test)]
+// Tests measure quantization error against f64 references by design.
+#[allow(clippy::float_arithmetic)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

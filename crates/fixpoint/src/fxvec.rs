@@ -21,6 +21,8 @@ impl FxVec3 {
     /// Build from box-fraction coordinates in `[0, 1)` (the conventional MD
     /// fractional coordinate), mapping onto the symmetric `[-1, 1)` fraction
     /// representation used internally.
+    // detlint::boundary(reason = "per-axis f64 -> fraction quantization edge; delegates to Fx32::from_f64_wrapped")
+    #[allow(clippy::float_arithmetic)]
     #[inline]
     pub fn from_unit_frac(f: [f64; 3]) -> FxVec3 {
         FxVec3([
@@ -31,6 +33,8 @@ impl FxVec3 {
     }
 
     /// Fractional coordinates in `[0, 1)`.
+    // detlint::boundary(reason = "exact fraction -> f64 decode; read-only, never accumulated back")
+    #[allow(clippy::float_arithmetic)]
     #[inline]
     pub fn to_unit_frac(self) -> [f64; 3] {
         let f = |a: Fx32| (a.to_f64() + 1.0) / 2.0;
@@ -79,11 +83,13 @@ impl FxVec3 {
 impl<const FRAC: u32> QVec3<FRAC> {
     pub const ZERO: QVec3<FRAC> = QVec3([Q(0); 3]);
 
+    // detlint::boundary(reason = "per-axis f64 -> Q quantization edge; delegates to Q::from_f64")
     #[inline]
     pub fn from_f64(v: [f64; 3]) -> Self {
         QVec3([Q::from_f64(v[0]), Q::from_f64(v[1]), Q::from_f64(v[2])])
     }
 
+    // detlint::boundary(reason = "per-axis Q -> f64 decode; read-only, never accumulated back")
     #[inline]
     pub fn to_f64(self) -> [f64; 3] {
         [self.0[0].to_f64(), self.0[1].to_f64(), self.0[2].to_f64()]

@@ -39,7 +39,7 @@ mod fx32;
 
 pub use fx32::Fx32;
 pub use fxvec::{FxVec3, QVec3};
-pub use q::{Q, Q16, Q20, Q24, Q32, Q40, Wide};
+pub use q::{Wide, Q, Q16, Q20, Q24, Q32, Q40};
 pub use rounding::{rne_shr_i128, rne_shr_i64};
 
 /// Fraction bits used for displacements and squared distances in Å / Å².

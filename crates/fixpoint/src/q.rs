@@ -30,10 +30,13 @@ impl<const FRAC: u32> Q<FRAC> {
     pub const ONE: Self = Q(1i64 << FRAC);
     pub const FRAC_BITS: u32 = FRAC;
     /// Smallest representable increment.
+    // detlint::boundary(reason = "grid-spacing constant used only when quantizing at the f64 edge")
     pub const EPSILON: f64 = 1.0 / (1u128 << FRAC) as f64;
 
     /// Quantize an `f64` with round-to-nearest/even. Debug-asserts that the
     /// value is representable.
+    // detlint::boundary(reason = "the f64 -> Q quantization edge; rounds via rne_f64 before any accumulation")
+    #[allow(clippy::float_arithmetic, clippy::cast_possible_truncation)]
     #[inline]
     pub fn from_f64(x: f64) -> Self {
         let scaled = rne_f64(x * (1u128 << FRAC) as f64);
@@ -44,6 +47,8 @@ impl<const FRAC: u32> Q<FRAC> {
         Q(scaled as i64)
     }
 
+    // detlint::boundary(reason = "Q -> f64 decode for diagnostics and kernel interiors; read-only, never accumulated back")
+    #[allow(clippy::float_arithmetic)]
     #[inline]
     pub fn to_f64(self) -> f64 {
         self.0 as f64 * Self::EPSILON
@@ -83,6 +88,9 @@ impl<const FRAC: u32> Q<FRAC> {
     }
 
     /// Product staying in the same format.
+    // Deliberately not `impl Mul`: the rounding semantics should be spelled
+    // out at call sites.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn mul(self, rhs: Self) -> Self {
         self.mul_into::<FRAC, FRAC>(rhs)
@@ -129,12 +137,14 @@ impl<const FRAC: u32> Wide<FRAC> {
     pub fn accumulate<const A: u32, const B: u32>(self, a: Q<A>, b: Q<B>) -> Self {
         debug_assert!(A + B >= FRAC);
         let prod = a.0 as i128 * b.0 as i128; // exact, up to 126 bits
-        // Keep FRAC fraction bits: shift is exact in the accumulator sense if
-        // we keep all bits; we truncate deterministically (floor) here since
-        // every node performs the identical operation.
+                                              // Keep FRAC fraction bits: shift is exact in the accumulator sense if
+                                              // we keep all bits; we truncate deterministically (floor) here since
+                                              // every node performs the identical operation.
         Wide(self.0.wrapping_add(prod >> (A + B - FRAC)))
     }
 
+    // detlint::boundary(reason = "wide-accumulator -> f64 decode for reporting; read-only, never accumulated back")
+    #[allow(clippy::float_arithmetic)]
     #[inline]
     pub fn to_f64(self) -> f64 {
         self.0 as f64 / (1u128 << FRAC) as f64
@@ -148,6 +158,8 @@ impl<const FRAC: u32> core::fmt::Debug for Q<FRAC> {
 }
 
 #[cfg(test)]
+// Tests measure quantization error against f64 references by design.
+#[allow(clippy::float_arithmetic)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -36,6 +36,9 @@ pub fn rne_shr_i64(x: i64, n: u32) -> i64 {
 /// The caller is responsible for choosing scales such that the rounded result
 /// fits in 64 bits; in debug builds an overflow panics, in release builds it
 /// wraps (mirroring the ASIC's wrap-tolerant accumulation).
+// The audited narrowing: callers size their Q formats so the result fits,
+// and the debug_assert below catches violations (see module docs).
+#[allow(clippy::cast_possible_truncation)]
 #[inline]
 pub fn rne_shr_i128(x: i128, n: u32) -> i64 {
     debug_assert!(n < 128);
@@ -61,6 +64,10 @@ pub fn rne_shr_i128(x: i128, n: u32) -> i64 {
 ///
 /// Used only at the boundary between floating-point setup code and the
 /// fixed-point simulation state; never inside the deterministic core.
+// This *is* the float quantization boundary, so the float-ban lints do not
+// apply inside it; the `r as i64` parity probe is exact for any x where the
+// tie adjustment matters (|x| < 2^52).
+#[allow(clippy::float_arithmetic, clippy::cast_possible_truncation)]
 #[inline]
 pub fn rne_f64(x: f64) -> f64 {
     // f64::round() rounds half away from zero; adjust exact-half cases.
@@ -102,6 +109,7 @@ mod tests {
     fn rne_shr_matches_f64_rounding() {
         for x in -4096i64..4096 {
             let got = rne_shr_i64(x, 4);
+            #[allow(clippy::cast_possible_truncation)] // reference value fits i64
             let want = rne_f64(x as f64 / 16.0) as i64;
             assert_eq!(got, want, "x={x}");
         }

@@ -15,7 +15,11 @@ pub fn bond_term(pbox: &PeriodicBox, pos: &[Vec3], b: &Bond) -> (f64, Vec3, Vec3
     let dr = r - b.r0;
     let u = b.k * dr * dr;
     // F_i = -dU/dr_i = -2k (r - r0) d̂.
-    let f = if r > 1e-12 { d * (-2.0 * b.k * dr / r) } else { Vec3::ZERO };
+    let f = if r > 1e-12 {
+        d * (-2.0 * b.k * dr / r)
+    } else {
+        Vec3::ZERO
+    };
     (u, f, -f)
 }
 
@@ -155,7 +159,12 @@ mod tests {
     fn bond_force_matches_gradient() {
         let pbox = PeriodicBox::cubic(50.0);
         let pos = vec![Vec3::new(10.0, 10.0, 10.0), Vec3::new(11.3, 10.4, 9.8)];
-        let b = Bond { i: 0, j: 1, r0: 1.09, k: 340.0 };
+        let b = Bond {
+            i: 0,
+            j: 1,
+            r0: 1.09,
+            k: 340.0,
+        };
         let (_, fi, fj) = bond_term(&pbox, &pos, &b);
         let num = numerical_forces(&pbox, &pos, |p| bond_term(&pbox, p, &b).0);
         assert_forces_close(&[fi, fj], &num, 1e-4);
@@ -169,7 +178,13 @@ mod tests {
             Vec3::new(11.0, 10.2, 9.9),
             Vec3::new(11.8, 11.1, 10.5),
         ];
-        let a = Angle { i: 0, j: 1, k_atom: 2, theta0: 1.9, k: 50.0 };
+        let a = Angle {
+            i: 0,
+            j: 1,
+            k_atom: 2,
+            theta0: 1.9,
+            k: 50.0,
+        };
         let (_, fi, fj, fk) = angle_term(&pbox, &pos, &a);
         let num = numerical_forces(&pbox, &pos, |p| angle_term(&pbox, p, &a).0);
         assert_forces_close(&[fi, fj, fk], &num, 1e-4);
@@ -185,7 +200,15 @@ mod tests {
             Vec3::new(13.1, 11.5, 11.8),
         ];
         for n in 1..=3u32 {
-            let d = Dihedral { i: 0, j: 1, k_atom: 2, l: 3, n, phi0: 0.6, k: 2.5 };
+            let d = Dihedral {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                l: 3,
+                n,
+                phi0: 0.6,
+                k: 2.5,
+            };
             let (_, fi, fj, fk, fl) = dihedral_term(&pbox, &pos, &d);
             let num = numerical_forces(&pbox, &pos, |p| dihedral_term(&pbox, p, &d).0);
             assert_forces_close(&[fi, fj, fk, fl], &num, 1e-4);
@@ -201,7 +224,15 @@ mod tests {
             Vec3::new(11.9, 11.4, 10.9),
             Vec3::new(13.1, 11.5, 11.8),
         ];
-        let d = Dihedral { i: 0, j: 1, k_atom: 2, l: 3, n: 2, phi0: 0.3, k: 1.7 };
+        let d = Dihedral {
+            i: 0,
+            j: 1,
+            k_atom: 2,
+            l: 3,
+            n: 2,
+            phi0: 0.3,
+            k: 1.7,
+        };
         let (_, fi, fj, fk, fl) = dihedral_term(&pbox, &pos, &d);
         let net = fi + fj + fk + fl;
         assert!(net.norm() < 1e-10, "net force {net:?}");
@@ -220,7 +251,10 @@ mod tests {
             Vec3::new(3.0, 0.0, 0.0),
         ];
         let phi = dihedral_angle(&pbox, &pos, 0, 1, 2, 3);
-        assert!((phi.abs() - std::f64::consts::PI).abs() < 1e-12, "phi = {phi}");
+        assert!(
+            (phi.abs() - std::f64::consts::PI).abs() < 1e-12,
+            "phi = {phi}"
+        );
     }
 
     #[test]

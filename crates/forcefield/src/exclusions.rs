@@ -22,12 +22,18 @@ pub struct ExclusionPolicy {
 impl ExclusionPolicy {
     /// AMBER-style scaling, used by the paper's AMBER99SB simulations.
     pub fn amber_like() -> ExclusionPolicy {
-        ExclusionPolicy { elec_14: 1.0 / 1.2, lj_14: 0.5 }
+        ExclusionPolicy {
+            elec_14: 1.0 / 1.2,
+            lj_14: 0.5,
+        }
     }
 
     /// OPLS-style scaling (both halved).
     pub fn opls_like() -> ExclusionPolicy {
-        ExclusionPolicy { elec_14: 0.5, lj_14: 0.5 }
+        ExclusionPolicy {
+            elec_14: 0.5,
+            lj_14: 0.5,
+        }
     }
 }
 
@@ -45,7 +51,11 @@ impl Exclusions {
     /// Build from an undirected bond graph: neighbors at graph distance 1 or
     /// 2 are excluded; distance 3 becomes a scaled 1-4 pair (unless the pair
     /// is also reachable in ≤2 bonds through a ring).
-    pub fn from_bond_graph(n_atoms: usize, edges: &[(u32, u32)], policy: ExclusionPolicy) -> Exclusions {
+    pub fn from_bond_graph(
+        n_atoms: usize,
+        edges: &[(u32, u32)],
+        policy: ExclusionPolicy,
+    ) -> Exclusions {
         let mut adj = vec![Vec::new(); n_atoms];
         for &(i, j) in edges {
             adj[i as usize].push(j);

@@ -190,9 +190,24 @@ mod tests {
             lj_type: vec![0, 1, 1, 1],
             lj_table: LjTable::from_types(&[(3.4, 0.1), (2.5, 0.03)]),
             bonds: vec![
-                Bond { i: 0, j: 1, r0: 1.09, k: 340.0 },
-                Bond { i: 0, j: 2, r0: 1.09, k: 340.0 },
-                Bond { i: 0, j: 3, r0: 1.09, k: 340.0 },
+                Bond {
+                    i: 0,
+                    j: 1,
+                    r0: 1.09,
+                    k: 340.0,
+                },
+                Bond {
+                    i: 0,
+                    j: 2,
+                    r0: 1.09,
+                    k: 340.0,
+                },
+                Bond {
+                    i: 0,
+                    j: 3,
+                    r0: 1.09,
+                    k: 340.0,
+                },
             ],
             molecule_starts: vec![0, 4],
             ..Default::default()
@@ -215,20 +230,30 @@ mod tests {
         let t = tiny_topology();
         // 1-2: (0,1), (0,2), (0,3); 1-3: (1,2), (1,3), (2,3).
         for &(i, j) in &[(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
-            assert!(t.exclusions.is_excluded(i, j), "({i},{j}) should be excluded");
+            assert!(
+                t.exclusions.is_excluded(i, j),
+                "({i},{j}) should be excluded"
+            );
         }
     }
 
     #[test]
     fn validate_rejects_bad_bond() {
         let mut t = tiny_topology();
-        t.bonds.push(Bond { i: 0, j: 9, r0: 1.0, k: 1.0 });
+        t.bonds.push(Bond {
+            i: 0,
+            j: 9,
+            r0: 1.0,
+            k: 1.0,
+        });
         assert!(t.validate().is_err());
     }
 
     #[test]
     fn constraint_group_atoms_dedup() {
-        let g = ConstraintGroup { pairs: vec![(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.6)] };
+        let g = ConstraintGroup {
+            pairs: vec![(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.6)],
+        };
         assert_eq!(g.atoms(), vec![0, 1, 2]);
     }
 }

@@ -155,7 +155,11 @@ mod tests {
     #[test]
     fn placed_geometry_satisfies_model() {
         let m = TIP3P;
-        let s = m.place(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        let s = m.place(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
         assert_eq!(s.len(), 3);
         assert!(((s[1] - s[0]).norm() - m.r_oh).abs() < 1e-12);
         assert!(((s[2] - s[0]).norm() - m.r_oh).abs() < 1e-12);
@@ -165,7 +169,11 @@ mod tests {
     #[test]
     fn vsite_position_on_bisector() {
         let m = TIP4P_EW;
-        let s = m.place(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let s = m.place(
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
         let v = m.virtual_site(0).unwrap();
         let computed = vsite_position(&v, &s);
         assert!((computed - s[3]).norm() < 1e-12);

@@ -54,7 +54,13 @@ impl CellGrid {
             order[cursor[c as usize] as usize] = i as u32;
             cursor[c as usize] += 1;
         }
-        CellGrid { pbox: *pbox, dims, cell_of, order, starts }
+        CellGrid {
+            pbox: *pbox,
+            dims,
+            cell_of,
+            order,
+            starts,
+        }
     }
 
     #[inline]
@@ -133,7 +139,9 @@ impl CellGrid {
                     // Pairs within the cell.
                     for (a, &i) in members.iter().enumerate() {
                         for &j in &members[a + 1..] {
-                            let d = self.pbox.min_image(positions[i as usize], positions[j as usize]);
+                            let d = self
+                                .pbox
+                                .min_image(positions[i as usize], positions[j as usize]);
                             let r2 = d.norm2();
                             if r2 <= c2 {
                                 f(i as usize, j as usize, d, r2);
@@ -146,7 +154,9 @@ impl CellGrid {
                         let ni = Self::cell_index(dims, n);
                         for &i in members {
                             for &j in self.cell_members(ni) {
-                                let d = self.pbox.min_image(positions[i as usize], positions[j as usize]);
+                                let d = self
+                                    .pbox
+                                    .min_image(positions[i as usize], positions[j as usize]);
                                 let r2 = d.norm2();
                                 if r2 <= c2 {
                                     f(i as usize, j as usize, d, r2);

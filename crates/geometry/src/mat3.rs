@@ -53,6 +53,9 @@ impl Mat3 {
         )
     }
 
+    // Not `impl Add`: keeping matrix ops as named methods mirrors
+    // `mul_mat`/`mul_vec` and avoids operator overloading in hot paths.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Mat3) -> Mat3 {
         let mut r = self.0;
         for (i, row) in r.iter_mut().enumerate() {
@@ -87,6 +90,9 @@ impl Mat3 {
     /// Eigen-decomposition of a *symmetric* matrix by cyclic Jacobi rotation.
     /// Returns `(eigenvalues, eigenvectors)` with eigenvectors as the columns
     /// of the returned matrix, sorted by descending eigenvalue.
+    // Jacobi rotations address row/column pairs (p, q) of two arrays at
+    // once; index loops are clearer than split_at_mut acrobatics here.
+    #[allow(clippy::needless_range_loop)]
     pub fn sym_eigen(self) -> ([f64; 3], Mat3) {
         let mut a = self.0;
         let mut v = Mat3::IDENTITY.0;
@@ -150,7 +156,10 @@ mod tests {
     fn mul_identity() {
         let m = Mat3([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]]);
         assert_eq!(m.mul_mat(Mat3::IDENTITY), m);
-        assert_eq!(Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Mat3::IDENTITY.mul_vec(Vec3::new(1.0, 2.0, 3.0)),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
     }
 
     #[test]

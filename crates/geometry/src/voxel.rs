@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn sphere_volume_mc() {
         let r: f64 = 2.0;
-        let v = mc_volume(Domain::centered_cube(2.5), 200_000, 11, |p| p.norm2() <= r * r);
+        let v = mc_volume(Domain::centered_cube(2.5), 200_000, 11, |p| {
+            p.norm2() <= r * r
+        });
         let exact = 4.0 / 3.0 * std::f64::consts::PI * r.powi(3);
         assert!((v - exact).abs() / exact < 0.03, "v={v} exact={exact}");
     }

@@ -34,7 +34,7 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// A machine with `nodes` nodes (power of two) and near-cubic torus.
     pub fn with_nodes(nodes: usize) -> MachineConfig {
-        assert!(nodes.is_power_of_two() && nodes >= 1 && nodes <= 32768);
+        assert!(nodes.is_power_of_two() && (1..=32768).contains(&nodes));
         MachineConfig {
             nodes,
             torus: near_cubic_torus(nodes),

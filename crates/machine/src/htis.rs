@@ -40,7 +40,11 @@ pub struct HtisSim {
 
 impl Default for HtisSim {
     fn default() -> HtisSim {
-        HtisSim { ppips: 32, match_units_per_ppip: 8, queue_depth: 4 }
+        HtisSim {
+            ppips: 32,
+            match_units_per_ppip: 8,
+            queue_depth: 4,
+        }
     }
 }
 
@@ -160,7 +164,11 @@ mod tests {
         let run = sim.run(500_000, 0.25, 9);
         let expected = 500_000.0 * 0.25;
         let rel = (run.interactions as f64 - expected).abs() / expected;
-        assert!(rel < 0.02, "interactions {} vs expected {expected}", run.interactions);
+        assert!(
+            rel < 0.02,
+            "interactions {} vs expected {expected}",
+            run.interactions
+        );
     }
 
     #[test]

@@ -144,7 +144,11 @@ pub struct PerfModel {
 
 impl PerfModel {
     pub fn new(cfg: MachineConfig) -> PerfModel {
-        PerfModel { cfg, cal: Calibration::paper(), flex: FlexModel::default() }
+        PerfModel {
+            cfg,
+            cal: Calibration::paper(),
+            flex: FlexModel::default(),
+        }
     }
 
     pub fn anton_512() -> PerfModel {
@@ -174,15 +178,13 @@ impl PerfModel {
             let csub = c_node / sub as f64;
             let rounds = (sub * sub * sub) as f64;
             let tower = rho * csub * csub * (csub + 2.0 * rc);
-            let plate = rho
-                * csub
-                * (csub * csub + 2.0 * csub * rc + std::f64::consts::PI * rc * rc / 2.0);
+            let plate =
+                rho * csub * (csub * csub + 2.0 * csub * rc + std::f64::consts::PI * rc * rc / 2.0);
             let considered = rounds * tower * plate;
             let interact = (considered / (self.cfg.ppips * self.cfg.match_units_per_ppip) as f64)
                 .max(necessary / self.cfg.ppips as f64);
             let stream = 2.0 * rounds * (tower + plate);
-            let cycles =
-                interact * imb + stream + rounds * self.cal.rl_round_overhead_cycles;
+            let cycles = interact * imb + stream + rounds * self.cal.rl_round_overhead_cycles;
             let t = cycles / self.cfg.clock_ppip_hz * 1e6;
             if t < best.0 {
                 best = (t, sub);
@@ -200,8 +202,7 @@ impl PerfModel {
 
         // --- Mesh phase (charge spreading + force interpolation on HTIS).
         let vc = s.volume() / (s.mesh[0] * s.mesh[1] * s.mesh[2]) as f64;
-        let pts_per_atom =
-            (4.0 / 3.0) * std::f64::consts::PI * s.spread_cutoff.powi(3) / vc;
+        let pts_per_atom = (4.0 / 3.0) * std::f64::consts::PI * s.spread_cutoff.powi(3) / vc;
         let mesh_inter = 2.0 * atoms_per_node * pts_per_atom;
         let mesh_us = mesh_inter / self.cfg.ppip_throughput() * imb * 1e6 + self.cal.mesh_fixed_us;
 
@@ -210,25 +211,27 @@ impl PerfModel {
 
         // --- Correction pipeline.
         let corr_pairs = s.n_correction_pairs as f64 / nodes;
-        let correction_us =
-            self.flex.correction_time_s(corr_pairs, self.cfg.clock_flex_hz) * imb * 1e6
-                + self.cal.corr_fixed_us;
+        let correction_us = self
+            .flex
+            .correction_time_s(corr_pairs, self.cfg.clock_flex_hz)
+            * imb
+            * 1e6
+            + self.cal.corr_fixed_us;
 
         // --- Bonded terms (hot-node load: the solute is spatially compact).
         let hot_terms = s.hot_node_bonded_terms(self.cfg.nodes);
-        let bonded_us =
-            self.flex.bonded_time_s(hot_terms, self.cfg.gcs, self.cfg.clock_flex_hz) * 1e6;
+        let bonded_us = self
+            .flex
+            .bonded_time_s(hot_terms, self.cfg.gcs, self.cfg.clock_flex_hz)
+            * 1e6;
 
         // --- Integration + constraints.
-        let integration_us = self
-            .flex
-            .integrate_time_s(
-                atoms_per_node,
-                s.n_constraint_pairs as f64 / nodes,
-                self.cfg.gcs,
-                self.cfg.clock_flex_hz,
-            )
-            * imb
+        let integration_us = self.flex.integrate_time_s(
+            atoms_per_node,
+            s.n_constraint_pairs as f64 / nodes,
+            self.cfg.gcs,
+            self.cfg.clock_flex_hz,
+        ) * imb
             * 1e6
             + self.cal.integ_fixed_us;
 
@@ -240,8 +243,7 @@ impl PerfModel {
         let lr_step_us = import_us + htis_chain.max(flex_chain) + integration_us;
         let nonlr_step_us = import_us + range_limited_us.max(bonded_us) + integration_us;
         let k = s.longrange_every.max(1) as f64;
-        let avg_step_us =
-            (lr_step_us + (k - 1.0) * nonlr_step_us) / k + self.cal.step_fixed_us;
+        let avg_step_us = (lr_step_us + (k - 1.0) * nonlr_step_us) / k + self.cal.step_fixed_us;
         let us_per_day = s.dt_fs * (86_400.0 / (avg_step_us * 1e-6)) * 1e-9;
 
         StepBreakdown {
@@ -271,8 +273,8 @@ impl PerfModel {
                 1 => (0, 2),
                 _ => (0, 1),
             };
-            let lines_per_node = (mesh[u] / g[u].min(mesh[u])) as f64
-                * (mesh[v] / g[v].min(mesh[v])) as f64;
+            let lines_per_node =
+                (mesh[u] / g[u].min(mesh[u])) as f64 * (mesh[v] / g[v].min(mesh[v])) as f64;
             let ga = g[axis].min(mesh[axis]) as f64;
             msgs += 2.0 * lines_per_node * (1.0 - 1.0 / ga);
         }
@@ -289,12 +291,15 @@ impl PerfModel {
         cluster_nodes: usize,
         cores_per_node: usize,
     ) -> f64 {
-        let pairs =
-            0.5 * s.density() * s.n_atoms as f64 * (4.0 / 3.0) * std::f64::consts::PI
-                * s.cutoff.powi(3);
+        let pairs = 0.5
+            * s.density()
+            * s.n_atoms as f64
+            * (4.0 / 3.0)
+            * std::f64::consts::PI
+            * s.cutoff.powi(3);
         let cores = (cluster_nodes * cores_per_node) as f64;
         let compute_us = pairs * 2.5e-3 / cores; // ~2.5 ns per pair-interaction per core
-        // Two PME transposes: ~0.4 µs of network service per peer message.
+                                                 // Two PME transposes: ~0.4 µs of network service per peer message.
         let comm_us = 2.0 * cluster_nodes as f64 * 0.4;
         let step_us = compute_us + comm_us;
         s.dt_fs * (86_400.0 / (step_us * 1e-6)) * 1e-9
@@ -371,7 +376,11 @@ mod tests {
         let m128 = PerfModel::new(MachineConfig::with_nodes(128)).breakdown(&dhfr_stats(13.0, 32));
         let frac = m128.us_per_day / m512.us_per_day;
         assert!(frac > 0.25 && frac < 0.8, "128-node fraction {frac}");
-        assert!((m128.us_per_day - 7.5).abs() < 3.5, "128-node rate {}", m128.us_per_day);
+        assert!(
+            (m128.us_per_day - 7.5).abs() < 3.5,
+            "128-node rate {}",
+            m128.us_per_day
+        );
     }
 
     /// Figure 5 shape: rate scales roughly inversely with atom count above
@@ -404,7 +413,10 @@ mod tests {
     fn commodity_cluster_is_two_orders_slower() {
         let s = dhfr_stats(13.0, 32);
         let cluster = PerfModel::commodity_cluster_us_per_day(&s, 512, 2);
-        assert!(cluster > 0.1 && cluster < 1.5, "cluster rate {cluster} µs/day");
+        assert!(
+            cluster > 0.1 && cluster < 1.5,
+            "cluster rate {cluster} µs/day"
+        );
         let anton = PerfModel::anton_512().breakdown(&s).us_per_day;
         assert!(anton / cluster > 10.0, "speedup {}", anton / cluster);
     }

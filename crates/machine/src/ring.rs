@@ -44,7 +44,11 @@ impl Default for Ring {
         stations.push(Station::Flex3);
         stations.push(Station::Dram1);
         stations.extend((3..6).map(Station::Channel));
-        Ring { stations, hop_cycles: 1, bytes_per_cycle: 32.0 }
+        Ring {
+            stations,
+            hop_cycles: 1,
+            bytes_per_cycle: 32.0,
+        }
     }
 }
 

@@ -45,7 +45,10 @@ impl TableSpec {
         let tiers = (0..levels)
             .map(|k| (per_tier, (2.0f64).powi(-(levels as i32) + 1 + k as i32)))
             .collect();
-        TableSpec { tiers, mantissa_bits: 22 }
+        TableSpec {
+            tiers,
+            mantissa_bits: 22,
+        }
     }
 
     pub fn total_entries(&self) -> usize {
@@ -117,7 +120,7 @@ impl FunctionTable {
             .iter()
             .map(|&(s, w)| {
                 let g = |t: f64| f(s + t * w);
-                let mut c = remez_cubic(&g, 1e-14);
+                let mut c = remez_cubic(g, 1e-14);
                 let p0 = c[0];
                 let p1 = c[0] + c[1] + c[2] + c[3];
                 let d0 = g(0.0) - p0;
@@ -135,19 +138,29 @@ impl FunctionTable {
             .iter()
             .map(|c| {
                 let maxc = c.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-                let exponent = if maxc > 0.0 { maxc.log2().floor() as i32 + 1 } else { 0 };
+                let exponent = if maxc > 0.0 {
+                    maxc.log2().floor() as i32 + 1
+                } else {
+                    0
+                };
                 let scale = (2.0f64).powi(mbits as i32 - 1 - exponent);
                 let mut coeffs = [0i32; 4];
                 for (q, &x) in coeffs.iter_mut().zip(c.iter()) {
                     let m = rne_f64(x * scale);
-                    *q = m.clamp(-(1i64 << (mbits - 1)) as f64, ((1i64 << (mbits - 1)) - 1) as f64)
-                        as i32;
+                    *q = m.clamp(
+                        -(1i64 << (mbits - 1)) as f64,
+                        ((1i64 << (mbits - 1)) - 1) as f64,
+                    ) as i32;
                 }
                 Segment { coeffs, exponent }
             })
             .collect();
 
-        FunctionTable { spec, segments, bounds }
+        FunctionTable {
+            spec,
+            segments,
+            bounds,
+        }
     }
 
     /// Locate the segment containing `u` (tiered index lookup).
@@ -212,13 +225,7 @@ impl FunctionTable {
 
     /// Maximum |table − f| over `samples` points in `[lo, hi)`, and the rms,
     /// both relative to the max |f| on the range.
-    pub fn error_vs(
-        &self,
-        f: impl Fn(f64) -> f64,
-        lo: f64,
-        hi: f64,
-        samples: usize,
-    ) -> (f64, f64) {
+    pub fn error_vs(&self, f: impl Fn(f64) -> f64, lo: f64, hi: f64, samples: usize) -> (f64, f64) {
         let mut max_err: f64 = 0.0;
         let mut sum2 = 0.0;
         let mut max_f: f64 = 0.0;
@@ -260,9 +267,7 @@ pub fn remez_cubic(g: impl Fn(f64) -> f64, tol: f64) -> [f64; 4] {
 
         // Find extrema of the error on a dense grid.
         const GRID: usize = 512;
-        let err = |t: f64| {
-            ((coeffs[3] * t + coeffs[2]) * t + coeffs[1]) * t + coeffs[0] - g(t)
-        };
+        let err = |t: f64| ((coeffs[3] * t + coeffs[2]) * t + coeffs[1]) * t + coeffs[0] - g(t);
         let mut extrema: Vec<(f64, f64)> = Vec::new();
         let mut best_in_run: Option<(f64, f64)> = None;
         let mut last_sign = 0i32;
@@ -276,7 +281,7 @@ pub fn remez_cubic(g: impl Fn(f64) -> f64, tol: f64) -> [f64; 4] {
                 }
             }
             last_sign = sign;
-            if best_in_run.map_or(true, |(_, be)| e.abs() > be.abs()) {
+            if best_in_run.is_none_or(|(_, be)| e.abs() > be.abs()) {
                 best_in_run = Some((t, e));
             }
         }
@@ -307,6 +312,9 @@ pub fn remez_cubic(g: impl Fn(f64) -> f64, tol: f64) -> [f64; 4] {
 }
 
 /// Solve a 5×5 linear system by Gaussian elimination with partial pivoting.
+// Gaussian elimination touches rows r and col simultaneously; index loops
+// beat split_at_mut gymnastics for a fixed 5x5 system.
+#[allow(clippy::needless_range_loop)]
 fn solve5(mut m: [[f64; 5]; 5], mut b: [f64; 5]) -> [f64; 5] {
     for col in 0..5 {
         let piv = (col..5)
@@ -388,10 +396,16 @@ mod tests {
             let right = table.eval_f64(s + 1e-13);
             // Continuity up to one quantization step of the larger segment.
             let tol = (2.0f64).powi(
-                table.segments[k].exponent.max(table.segments[k - 1].exponent)
+                table.segments[k]
+                    .exponent
+                    .max(table.segments[k - 1].exponent)
                     - (table.spec.mantissa_bits as i32 - 1),
             ) * 4.0;
-            assert!((left - right).abs() <= tol, "jump {} at seg {k}", (left - right).abs());
+            assert!(
+                (left - right).abs() <= tol,
+                "jump {} at seg {k}",
+                (left - right).abs()
+            );
         }
     }
 

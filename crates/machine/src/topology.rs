@@ -48,9 +48,8 @@ impl Torus {
 
     /// Average hop count over all destination nodes (uniform traffic).
     pub fn mean_hops(&self) -> f64 {
-        let mean_axis = |d: usize| -> f64 {
-            (0..d).map(|k| (k.min(d - k)) as f64).sum::<f64>() / d as f64
-        };
+        let mean_axis =
+            |d: usize| -> f64 { (0..d).map(|k| (k.min(d - k)) as f64).sum::<f64>() / d as f64 };
         mean_axis(self.dims[0]) + mean_axis(self.dims[1]) + mean_axis(self.dims[2])
     }
 

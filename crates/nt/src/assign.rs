@@ -20,7 +20,9 @@ pub struct NodeGrid {
 impl NodeGrid {
     pub fn new(nx: i32, ny: i32, nz: i32) -> NodeGrid {
         assert!(nx >= 1 && ny >= 1 && nz >= 1);
-        NodeGrid { dims: IVec3::new(nx, ny, nz) }
+        NodeGrid {
+            dims: IVec3::new(nx, ny, nz),
+        }
     }
 
     pub fn cubic(n: i32) -> NodeGrid {
@@ -103,7 +105,11 @@ impl NtAssignment {
     pub fn node_for_pair(&self, a: IVec3, b: IVec3) -> IVec3 {
         // Canonical order so ties in the wrap convention cannot produce two
         // different answers for (a,b) vs (b,a).
-        let (a, b) = if (a.x, a.y, a.z) <= (b.x, b.y, b.z) { (a, b) } else { (b, a) };
+        let (a, b) = if (a.x, a.y, a.z) <= (b.x, b.y, b.z) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let dx = self.grid.wrap_axis(b.x - a.x, 0);
         let dy = self.grid.wrap_axis(b.y - a.y, 1);
         let dz = self.grid.wrap_axis(b.z - a.z, 2);
@@ -159,8 +165,16 @@ impl NtAssignment {
     /// home box (used by the communication model).
     pub fn import_counts(&self, node: IVec3) -> (usize, usize) {
         let home = node.rem_euclid(self.grid.dims);
-        let t = self.tower_boxes(node).into_iter().filter(|&c| c != home).count();
-        let p = self.plate_boxes(node).into_iter().filter(|&c| c != home).count();
+        let t = self
+            .tower_boxes(node)
+            .into_iter()
+            .filter(|&c| c != home)
+            .count();
+        let p = self
+            .plate_boxes(node)
+            .into_iter()
+            .filter(|&c| c != home)
+            .count();
         (t, p)
     }
 }
@@ -177,9 +191,21 @@ mod tests {
         let nt = NtAssignment::new(NodeGrid::cubic(8), 2, 2);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
         for _ in 0..2000 {
-            let a = IVec3::new(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
-            let b = IVec3::new(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
-            assert_eq!(nt.node_for_pair(a, b), nt.node_for_pair(b, a), "{a:?} {b:?}");
+            let a = IVec3::new(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
+            let b = IVec3::new(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
+            assert_eq!(
+                nt.node_for_pair(a, b),
+                nt.node_for_pair(b, a),
+                "{a:?} {b:?}"
+            );
         }
     }
 
@@ -190,15 +216,26 @@ mod tests {
         let nt = NtAssignment::new(NodeGrid::cubic(8), 2, 2);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
         for _ in 0..3000 {
-            let a = IVec3::new(rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..8));
-            let db = IVec3::new(rng.gen_range(-2..=2), rng.gen_range(-2..=2), rng.gen_range(-2..=2));
+            let a = IVec3::new(
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            );
+            let db = IVec3::new(
+                rng.gen_range(-2..=2),
+                rng.gen_range(-2..=2),
+                rng.gen_range(-2..=2),
+            );
             let b = (a + db).rem_euclid(IVec3::new(8, 8, 8));
             let n = nt.node_for_pair(a, b);
             let tower = nt.tower_boxes(n);
             let plate = nt.plate_boxes(n);
             let ok = (tower.contains(&a) && plate.contains(&b))
                 || (tower.contains(&b) && plate.contains(&a));
-            assert!(ok, "pair {a:?},{b:?} -> node {n:?} tower {tower:?} plate {plate:?}");
+            assert!(
+                ok,
+                "pair {a:?},{b:?} -> node {n:?} tower {tower:?} plate {plate:?}"
+            );
         }
     }
 
@@ -254,9 +291,7 @@ mod tests {
                             if tb == pb && i > j {
                                 continue;
                             }
-                            if nt.node_for_pair(box_of[i as usize], box_of[j as usize])
-                                != node
-                            {
+                            if nt.node_for_pair(box_of[i as usize], box_of[j as usize]) != node {
                                 continue;
                             }
                             // Distinct (tower, plate) box roles can both be
@@ -285,7 +320,10 @@ mod tests {
         // No duplicates.
         let unique: HashSet<_> = visited.iter().collect();
         assert_eq!(unique.len(), visited.len(), "pairs visited more than once");
-        assert_eq!(visited, expected, "NT enumeration disagrees with brute force");
+        assert_eq!(
+            visited, expected,
+            "NT enumeration disagrees with brute force"
+        );
     }
 
     #[test]
@@ -293,7 +331,7 @@ mod tests {
         let nt = NtAssignment::new(NodeGrid::cubic(8), 2, 2);
         let (t, p) = nt.import_counts(IVec3::new(3, 3, 3));
         assert_eq!(t, 4); // ±2 boxes in z
-        // Half of the 5×5−1 ring = 12 boxes.
+                          // Half of the 5×5−1 ring = 12 boxes.
         assert_eq!(p, 12);
     }
 }

@@ -63,7 +63,11 @@ pub fn assign_terms(
     } else {
         occupied.iter().sum::<f64>() / occupied.len() as f64
     };
-    GcAssignment { placement, max_load, mean_load }
+    GcAssignment {
+        placement,
+        max_load,
+        mean_load,
+    }
 }
 
 /// The per-atom "bond destination" sets: which `(node, gc)` slots each atom
@@ -99,7 +103,11 @@ mod tests {
         let total: f64 = costs.iter().sum();
         let ideal = total / 8.0;
         let max_single = 7.0;
-        assert!(a.max_load <= ideal + max_single, "max {} ideal {ideal}", a.max_load);
+        assert!(
+            a.max_load <= ideal + max_single,
+            "max {} ideal {ideal}",
+            a.max_load
+        );
     }
 
     #[test]

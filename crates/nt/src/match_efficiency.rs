@@ -23,7 +23,11 @@ pub struct MatchEfficiency {
 impl MatchEfficiency {
     pub fn new(box_side: f64, subdiv: usize, cutoff: f64) -> MatchEfficiency {
         assert!(subdiv >= 1);
-        MatchEfficiency { box_side, subdiv, cutoff }
+        MatchEfficiency {
+            box_side,
+            subdiv,
+            cutoff,
+        }
     }
 
     /// Expected match efficiency for uniform atom density (the Table 3

@@ -186,7 +186,10 @@ mod tests {
             reg.nt_total_volume() / reg.half_shell_volume()
         };
         assert!(ratio_small_box < ratio_large_box);
-        assert!(ratio_small_box < 0.5, "NT should import far less: {ratio_small_box}");
+        assert!(
+            ratio_small_box < 0.5,
+            "NT should import far less: {ratio_small_box}"
+        );
     }
 
     #[test]

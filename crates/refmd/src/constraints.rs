@@ -111,7 +111,15 @@ mod tests {
         let mut pos = ref_pos.clone();
         pos[1] += Vec3::new(0.08, -0.05, 0.02);
         pos[2] += Vec3::new(-0.03, 0.06, -0.04);
-        let iters = shake(&pbox, &[group.clone()], &mass, &ref_pos, &mut pos, 1e-10, 100);
+        let iters = shake(
+            &pbox,
+            std::slice::from_ref(&group),
+            &mass,
+            &ref_pos,
+            &mut pos,
+            1e-10,
+            100,
+        );
         assert!(iters < 100);
         for &(i, j, d0) in &group.pairs {
             let d = pbox.min_image(pos[i as usize], pos[j as usize]).norm();
@@ -130,8 +138,10 @@ mod tests {
             .zip(&mass)
             .fold(Vec3::ZERO, |a, (p, &m)| a + *p * m);
         shake(&pbox, &[group], &mass, &ref_pos, &mut pos, 1e-10, 100);
-        let com_after: Vec3 =
-            pos.iter().zip(&mass).fold(Vec3::ZERO, |a, (p, &m)| a + *p * m);
+        let com_after: Vec3 = pos
+            .iter()
+            .zip(&mass)
+            .fold(Vec3::ZERO, |a, (p, &m)| a + *p * m);
         assert!((com_before - com_after).norm() < 1e-10);
     }
 
@@ -144,7 +154,15 @@ mod tests {
             Vec3::new(-0.02, 0.01, 0.005),
             Vec3::new(0.015, -0.01, 0.0),
         ];
-        rattle(&pbox, &[group.clone()], &mass, &pos, &mut vel, 1e-12, 100);
+        rattle(
+            &pbox,
+            std::slice::from_ref(&group),
+            &mass,
+            &pos,
+            &mut vel,
+            1e-12,
+            100,
+        );
         for &(i, j, _) in &group.pairs {
             let d = pbox.min_image(pos[i as usize], pos[j as usize]);
             let dv = vel[i as usize] - vel[j as usize];

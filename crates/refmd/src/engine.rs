@@ -68,15 +68,21 @@ impl RefSimulation {
         for f in self.short_forces.iter_mut() {
             *f = Vec3::ZERO;
         }
-        let short =
-            self.evaluator
-                .short_range(&self.system, &self.positions, &mut self.short_forces, &mut self.profile);
+        let short = self.evaluator.short_range(
+            &self.system,
+            &self.positions,
+            &mut self.short_forces,
+            &mut self.profile,
+        );
         for f in self.long_forces.iter_mut() {
             *f = Vec3::ZERO;
         }
-        let long =
-            self.evaluator
-                .long_range(&self.system, &self.positions, &mut self.long_forces, &mut self.profile);
+        let long = self.evaluator.long_range(
+            &self.system,
+            &self.positions,
+            &mut self.long_forces,
+            &mut self.profile,
+        );
         // Spread virtual-site forces within each class (linear operation).
         for v in &self.system.topology.virtual_sites {
             vsite_spread_force(v, &mut self.short_forces);
@@ -97,10 +103,9 @@ impl RefSimulation {
             Which::Short => &self.short_forces,
             Which::Long => &self.long_forces,
         };
-        for i in 0..self.velocities.len() {
-            let m = top.mass[i];
+        for ((v, &m), &f) in self.velocities.iter_mut().zip(&top.mass).zip(forces.iter()) {
             if m > 0.0 {
-                self.velocities[i] += forces[i] * (dt_fs * ACCEL / m);
+                *v += f * (dt_fs * ACCEL / m);
             }
         }
     }
@@ -141,8 +146,9 @@ impl RefSimulation {
         if let Thermostat::Berendsen { target_k, tau_fs } = self.thermostat {
             let t = temperature(&self.system.topology, &self.velocities);
             if t > 1e-6 {
-                let lambda =
-                    (1.0 + (k as f64 * dt / tau_fs) * (target_k / t - 1.0)).max(0.0).sqrt();
+                let lambda = (1.0 + (k as f64 * dt / tau_fs) * (target_k / t - 1.0))
+                    .max(0.0)
+                    .sqrt();
                 for v in self.velocities.iter_mut() {
                     *v = *v * lambda;
                 }
@@ -175,9 +181,15 @@ impl RefSimulation {
             // Absorb the position corrections into the velocities:
             // v ← (x_constrained − x_ref)/dt, the standard SHAKE companion
             // update (equals v_unconstrained + Δx_constraint/dt).
-            for i in 0..self.positions.len() {
-                if self.system.topology.mass[i] > 0.0 {
-                    self.velocities[i] = (self.positions[i] - pos_ref[i]) * (1.0 / dt);
+            let masses = &self.system.topology.mass;
+            for ((v, &m), (&p, &pr)) in self
+                .velocities
+                .iter_mut()
+                .zip(masses)
+                .zip(self.positions.iter().zip(&pos_ref))
+            {
+                if m > 0.0 {
+                    *v = (p - pr) * (1.0 / dt);
                 }
             }
         }
@@ -303,14 +315,23 @@ mod tests {
         let per_dof = (e1 - e0).abs() / sim.system.topology.degrees_of_freedom() as f64;
         // 80 steps × 2.5 fs: drift must be far below thermal energy
         // (kT/2 ≈ 0.3 kcal/mol per DoF).
-        assert!(per_dof < 0.05, "energy moved {per_dof} kcal/mol/DoF over 200 fs");
+        assert!(
+            per_dof < 0.05,
+            "energy moved {per_dof} kcal/mol/DoF over 200 fs"
+        );
     }
 
     #[test]
     fn berendsen_pulls_temperature_to_target() {
         // Tight coupling: the unequilibrated lattice releases potential
         // energy for a while, which the thermostat must carry away.
-        let mut sim = water_sim(120, Thermostat::Berendsen { target_k: 350.0, tau_fs: 15.0 });
+        let mut sim = water_sim(
+            120,
+            Thermostat::Berendsen {
+                target_k: 350.0,
+                tau_fs: 15.0,
+            },
+        );
         for _ in 0..150 {
             sim.run_cycle();
         }

@@ -72,9 +72,10 @@ impl ForceEvaluator {
 
         // Range-limited pairs.
         let t2 = Instant::now();
-        let policy = top.exclusions.policy.unwrap_or(
-            anton_forcefield::ExclusionPolicy::amber_like(),
-        );
+        let policy = top
+            .exclusions
+            .policy
+            .unwrap_or(anton_forcefield::ExclusionPolicy::amber_like());
         let mut e_rl = 0.0;
         grid.for_each_pair_within(pos, sys.params.cutoff, |i, j, d, r2| {
             let (iu, ju) = (i as u32, j as u32);
@@ -113,16 +114,19 @@ impl ForceEvaluator {
         let mut en = Energies::default();
 
         let mut timings = anton_ewald::spme::SpmeTimings::default();
-        en.reciprocal = self.spme.compute_profiled(pos, &top.charge, forces, &mut timings);
+        en.reciprocal = self
+            .spme
+            .compute_profiled(pos, &top.charge, forces, &mut timings);
         profile.fft_s += timings.fft_s;
         profile.mesh_s += timings.spread_s + timings.interp_s;
 
         // Corrections: remove the reciprocal-space contribution of excluded
         // pairs entirely, and all but the scaled fraction for 1-4 pairs.
         let t0 = Instant::now();
-        let policy = top.exclusions.policy.unwrap_or(
-            anton_forcefield::ExclusionPolicy::amber_like(),
-        );
+        let policy = top
+            .exclusions
+            .policy
+            .unwrap_or(anton_forcefield::ExclusionPolicy::amber_like());
         let mut e_corr = 0.0;
         for &(i, j) in top.exclusions.excluded_pairs() {
             let d = sys.pbox.min_image(pos[i as usize], pos[j as usize]);
@@ -160,7 +164,7 @@ impl ForceEvaluator {
     pub fn all_forces(
         &self,
         sys: &System,
-        pos: &mut Vec<Vec3>,
+        pos: &mut [Vec3],
         forces: &mut [Vec3],
         profile: &mut TaskProfile,
     ) -> Energies {
@@ -187,14 +191,14 @@ impl ForceEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anton_systems::spec::RunParams;
-    use anton_systems::waterbox::pure_water_topology;
     use anton_forcefield::water::TIP3P;
     use anton_geometry::PeriodicBox;
+    use anton_systems::spec::RunParams;
+    use anton_systems::waterbox::pure_water_topology;
 
     fn small_water_system() -> System {
         let pbox = PeriodicBox::cubic(18.0);
-        let (top, positions) = pure_water_topology(&pbox, &TIP3P, 150, 11);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, 150, 5);
         let sys = System {
             name: "water150".into(),
             pbox,
@@ -268,7 +272,10 @@ mod tests {
         let mut prof = TaskProfile::default();
         let en = ev.all_forces(&sys, &mut pos, &mut forces, &mut prof);
         let per_mol = en.potential() / 150.0;
-        assert!(per_mol < -2.0, "water not bound: {per_mol} kcal/mol/molecule");
+        assert!(
+            per_mol < -2.0,
+            "water not bound: {per_mol} kcal/mol/molecule"
+        );
         assert!(per_mol > -20.0, "unphysically deep: {per_mol}");
     }
 

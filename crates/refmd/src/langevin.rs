@@ -141,15 +141,8 @@ mod tests {
     fn thermalizes_to_target_temperature() {
         let n = 200;
         let pos = vec![Vec3::ZERO; n];
-        let mut li = LangevinIntegrator::new(
-            Harmonic { k: 1.0 },
-            pos,
-            vec![12.0; n],
-            300.0,
-            0.01,
-            2.0,
-            9,
-        );
+        let mut li =
+            LangevinIntegrator::new(Harmonic { k: 1.0 }, pos, vec![12.0; n], 300.0, 0.01, 2.0, 9);
         // Equilibrate, then average T.
         for _ in 0..2000 {
             li.step();

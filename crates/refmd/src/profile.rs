@@ -57,7 +57,11 @@ mod tests {
 
     #[test]
     fn per_step_normalizes() {
-        let p = TaskProfile { range_limited_s: 2.0, steps: 4, ..Default::default() };
+        let p = TaskProfile {
+            range_limited_s: 2.0,
+            steps: 4,
+            ..Default::default()
+        };
         assert!((p.per_step_ms()[0] - 500.0).abs() < 1e-9);
         assert!((p.per_step_ms()[6] - 500.0).abs() < 1e-9);
     }

@@ -54,8 +54,10 @@ pub fn reference_forces(sys: &System, positions: &[Vec3]) -> (Vec<Vec3>, f64) {
     let mut energy = bonded::accumulate_bonded(&sys.pbox, &pos, top, &mut forces);
 
     // Range-limited, extended cutoff, accurate erfc.
-    let policy =
-        top.exclusions.policy.unwrap_or(anton_forcefield::ExclusionPolicy::amber_like());
+    let policy = top
+        .exclusions
+        .policy
+        .unwrap_or(anton_forcefield::ExclusionPolicy::amber_like());
     let grid = CellGrid::build(&sys.pbox, &pos, cutoff);
     let mut e_rl = 0.0;
     grid.for_each_pair_within(&pos, cutoff, |i, j, d, r2| {
@@ -160,7 +162,10 @@ mod tests {
         // Order-4 SPME at β·h ≈ 0.47 sits near 1e-2 relative accuracy —
         // the commodity-production regime; the paper's 1e-3 "generally
         // considered acceptable" bound is the ceiling we assert.
-        assert!(err < 1.2e-2, "production-vs-reference rms force error {err:e}");
+        assert!(
+            err < 1.2e-2,
+            "production-vs-reference rms force error {err:e}"
+        );
         assert!(err > 1e-8, "suspiciously identical");
     }
 

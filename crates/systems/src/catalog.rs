@@ -130,6 +130,9 @@ pub const TABLE4: [Table4Entry; 6] = [
 /// `extra_tail` forces that many additional heavy atoms onto the protein
 /// (BPTI's 892 = 111×8 + 4); further tail atoms are added automatically so
 /// the water particle count divides evenly.
+// The parameter list mirrors the per-system columns of Table 4; a builder
+// struct would just rename the same nine knobs.
+#[allow(clippy::too_many_arguments)]
 pub fn build_solvated(
     name: &str,
     total_atoms: usize,
@@ -162,7 +165,11 @@ pub fn build_solvated(
         top.mass.extend(&chain.mass);
         top.charge.extend(&chain.charge);
         top.lj_type.extend(&chain.lj_type);
-        top.bonds.extend(chain.bonds.iter().map(|b| Bond { i: b.i + offset, j: b.j + offset, ..*b }));
+        top.bonds.extend(chain.bonds.iter().map(|b| Bond {
+            i: b.i + offset,
+            j: b.j + offset,
+            ..*b
+        }));
         top.angles.extend(chain.angles.iter().map(|a| {
             let mut a = *a;
             a.i += offset;
@@ -178,11 +185,16 @@ pub fn build_solvated(
             d.l += offset;
             d
         }));
-        top.constraint_groups.extend(chain.constraint_groups.iter().map(|g| {
-            anton_forcefield::ConstraintGroup {
-                pairs: g.pairs.iter().map(|&(i, j, r)| (i + offset, j + offset, r)).collect(),
-            }
-        }));
+        top.constraint_groups
+            .extend(chain.constraint_groups.iter().map(|g| {
+                anton_forcefield::ConstraintGroup {
+                    pairs: g
+                        .pairs
+                        .iter()
+                        .map(|&(i, j, r)| (i + offset, j + offset, r))
+                        .collect(),
+                }
+            }));
         top.molecule_starts.push(positions.len() as u32);
     }
     let protein_core = positions.len();
@@ -204,10 +216,12 @@ pub fn build_solvated(
     let tail = extra_tail + remaining % model.sites;
     if tail > 0 {
         let mut prev = (protein_core - 2) as u32; // last residue's C atom
-        // Extend radially outward from the globule so the tail lands in
-        // solvent, not inside the next helix turn.
+                                                  // Extend radially outward from the globule so the tail lands in
+                                                  // solvent, not inside the next helix turn.
         let anchor0 = positions[prev as usize];
-        let dir = (anchor0 - center).normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+        let dir = (anchor0 - center)
+            .normalized()
+            .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
         for t in 0..tail {
             let idx = positions.len() as u32;
             let anchor = positions[prev as usize];
@@ -216,7 +230,12 @@ pub fn build_solvated(
             top.mass.push(12.011);
             top.charge.push(0.0);
             top.lj_type.push(LJ_C);
-            top.bonds.push(Bond { i: prev, j: idx, r0: 1.5, k: 300.0 });
+            top.bonds.push(Bond {
+                i: prev,
+                j: idx,
+                r0: 1.5,
+                k: 300.0,
+            });
             prev = idx;
         }
         *top.molecule_starts.last_mut().unwrap() = positions.len() as u32;
@@ -258,10 +277,24 @@ pub fn build_solvated(
     }
 
     // 6. Waters.
-    append_waters(&mut top, &mut positions, model, &sites, n_waters, &mut occupied, seed);
+    append_waters(
+        &mut top,
+        &mut positions,
+        model,
+        &sites,
+        n_waters,
+        &mut occupied,
+        seed,
+    );
 
     top.rebuild_exclusions(ExclusionPolicy::amber_like());
-    let sys = System { name: name.to_string(), pbox, topology: top, positions, params };
+    let sys = System {
+        name: name.to_string(),
+        pbox,
+        topology: top,
+        positions,
+        params,
+    };
     assert_eq!(sys.n_atoms(), total_atoms, "{name}: atom count mismatch");
     sys.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
     debug_assert!(sys.topology.total_charge().abs() < 1e-6);
@@ -328,7 +361,11 @@ mod tests {
         assert_eq!(sys.n_atoms(), 9865);
         assert!(sys.topology.total_charge().abs() < 1e-9);
         // Density should be biomolecular (~0.1 atoms/Å³).
-        assert!((sys.density() - 0.0963).abs() < 0.002, "density {}", sys.density());
+        assert!(
+            (sys.density() - 0.0963).abs() < 0.002,
+            "density {}",
+            sys.density()
+        );
     }
 
     #[test]
@@ -357,7 +394,11 @@ mod tests {
             // Cutoff respects minimum image; protein fits in the box.
             assert!(e.cutoff * 2.0 < e.side, "{}", e.name);
             let r = crate::protein::globule_radius(e.protein_residues);
-            assert!(r + 3.0 < e.side / 2.0, "{}: globule radius {r} too big", e.name);
+            assert!(
+                r + 3.0 < e.side / 2.0,
+                "{}: globule radius {r} too big",
+                e.name
+            );
         }
     }
 }

@@ -45,16 +45,28 @@ pub fn gpw_native() -> Vec<Vec3> {
     }
     // Turn + hairpin strand 1: residues 24..38, coming back along -x at y ≈ 6.
     for i in 0..14 {
-        ca.push(Vec3::new(34.0 - i as f64 * 2.2, 6.0, 1.5 + 0.3 * (i % 2) as f64));
+        ca.push(Vec3::new(
+            34.0 - i as f64 * 2.2,
+            6.0,
+            1.5 + 0.3 * (i % 2) as f64,
+        ));
     }
     // Hairpin strand 2: residues 38..48, going +x at y ≈ 10.5.
     for i in 0..10 {
-        ca.push(Vec3::new(4.0 + i as f64 * 2.2, 10.5, 1.5 - 0.3 * (i % 2) as f64));
+        ca.push(Vec3::new(
+            4.0 + i as f64 * 2.2,
+            10.5,
+            1.5 - 0.3 * (i % 2) as f64,
+        ));
     }
     // Helix 2: residues 48..62, packed above helix 1.
     for i in 0..14 {
         let t = i as f64 * 100.0_f64.to_radians() + 0.7;
-        ca.push(Vec3::new(26.0 - i as f64 * 1.5, 5.0 + 2.3 * t.cos(), 6.5 + 2.3 * t.sin()));
+        ca.push(Vec3::new(
+            26.0 - i as f64 * 1.5,
+            5.0 + 2.3 * t.cos(),
+            6.5 + 2.3 * t.sin(),
+        ));
     }
     // Rescale consecutive distances to the canonical 3.8 Å Cα spacing.
     for i in 1..ca.len() {
@@ -199,9 +211,7 @@ impl GoModel {
         let formed = self
             .contacts
             .iter()
-            .filter(|&&(i, j, rn)| {
-                (pos[i as usize] - pos[j as usize]).norm() < 1.2 * rn
-            })
+            .filter(|&&(i, j, rn)| (pos[i as usize] - pos[j as usize]).norm() < 1.2 * rn)
             .count();
         formed as f64 / self.contacts.len().max(1) as f64
     }
@@ -282,7 +292,11 @@ mod tests {
     #[test]
     fn net_force_is_zero() {
         let m = GoModel::gpw();
-        let pos: Vec<Vec3> = m.native.iter().map(|p| *p + Vec3::new(0.1, -0.07, 0.02)).collect();
+        let pos: Vec<Vec3> = m
+            .native
+            .iter()
+            .map(|p| *p + Vec3::new(0.1, -0.07, 0.02))
+            .collect();
         let mut f = vec![Vec3::ZERO; m.n_beads()];
         m.forces(&pos, &mut f);
         let net = f.iter().fold(Vec3::ZERO, |a, &b| a + b);

@@ -65,7 +65,9 @@ pub fn standard_lj_types(water_sigma: f64, water_eps: f64) -> Vec<(f64, f64)> {
 /// Per-residue charges, AMBER-like, summing to zero:
 /// N, HN, CA, HA, CB, HB, C, O.
 const CHARGES: [f64; 8] = [-0.40, 0.30, 0.05, 0.10, -0.15, 0.10, 0.50, -0.50];
-const MASSES: [f64; 8] = [14.0067, 1.008, 12.011, 1.008, 12.011, 1.008, 12.011, 15.9994];
+const MASSES: [f64; 8] = [
+    14.0067, 1.008, 12.011, 1.008, 12.011, 1.008, 12.011, 15.9994,
+];
 const LJ_TYPES: [u16; 8] = [LJ_N, LJ_HP, LJ_C, LJ_HP, LJ_C, LJ_HP, LJ_C, LJ_O];
 
 /// A built protein fragment, before merging into a full system.
@@ -135,9 +137,8 @@ pub fn build_chain(n_residues: usize, center: Vec3, helix_radius: f64, pitch: f6
     let mut constraint_groups = Vec::new();
     let mut nh_pairs = Vec::new();
 
-    let pt = |s: f64, ro: f64, ao: f64| {
-        helix_point(center, helix_radius, pitch, half_height, s, ro, ao)
-    };
+    let pt =
+        |s: f64, ro: f64, ao: f64| helix_point(center, helix_radius, pitch, half_height, s, ro, ao);
 
     for res in 0..n_residues {
         let s0 = res as f64 * ARC_PER_RESIDUE;
@@ -188,7 +189,13 @@ pub fn build_chain(n_residues: usize, center: Vec3, helix_radius: f64, pitch: f6
         bonds.push(bond(&positions, ca, cb, 310.0));
         bonds.push(bond(&positions, c, o, 570.0));
         let mut angle = |i: u32, j: u32, k_atom: u32, k: f64| {
-            angles.push(Angle { i, j, k_atom, theta0: measured_angle(&positions, i, j, k_atom), k });
+            angles.push(Angle {
+                i,
+                j,
+                k_atom,
+                theta0: measured_angle(&positions, i, j, k_atom),
+                k,
+            });
         };
         angle(n, ca, c, 63.0);
         angle(n, ca, cb, 60.0);
@@ -213,7 +220,15 @@ pub fn build_chain(n_residues: usize, center: Vec3, helix_radius: f64, pitch: f6
                     l,
                 );
                 let phi0 = mult as f64 * phi - std::f64::consts::PI;
-                dihedrals.push(Dihedral { i, j, k_atom, l, n: mult, phi0, k });
+                dihedrals.push(Dihedral {
+                    i,
+                    j,
+                    k_atom,
+                    l,
+                    n: mult,
+                    phi0,
+                    k,
+                });
             };
             dih(pn, pca, pc, n, 1, 2.5);
             dih(pn, pca, pc, n, 2, 1.2);
@@ -381,7 +396,10 @@ mod tests {
         let chains = build_globule(150, Vec3::ZERO);
         let total: usize = chains.iter().map(|c| c.n_residues).sum();
         assert_eq!(total, 150);
-        assert!(chains.len() >= 2, "150 residues should need multiple shells");
+        assert!(
+            chains.len() >= 2,
+            "150 residues should need multiple shells"
+        );
         let mut min_cross = f64::MAX;
         let mut all: Vec<(usize, Vec3)> = Vec::new();
         for (ci, c) in chains.iter().enumerate() {

@@ -53,7 +53,10 @@ pub fn remove_net_momentum(top: &Topology, v: &mut [Vec3]) {
 /// Kinetic energy in kcal/mol.
 pub fn kinetic_energy(top: &Topology, v: &[Vec3]) -> f64 {
     0.5 / anton_forcefield::units::ACCEL
-        * v.iter().enumerate().map(|(i, vel)| top.mass[i] * vel.norm2()).sum::<f64>()
+        * v.iter()
+            .enumerate()
+            .map(|(i, vel)| top.mass[i] * vel.norm2())
+            .sum::<f64>()
 }
 
 /// Instantaneous temperature (K) from kinetic energy and the constrained
@@ -93,15 +96,24 @@ mod tests {
         let top = argon_like(500);
         let v = init_velocities(&top, 300.0, 42);
         assert!((temperature(&top, &v) - 300.0).abs() < 1e-9);
-        let p = v.iter().enumerate().fold(Vec3::ZERO, |a, (i, vel)| a + *vel * top.mass[i]);
+        let p = v
+            .iter()
+            .enumerate()
+            .fold(Vec3::ZERO, |a, (i, vel)| a + *vel * top.mass[i]);
         assert!(p.norm() < 1e-9);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let top = argon_like(50);
-        assert_eq!(init_velocities(&top, 300.0, 7), init_velocities(&top, 300.0, 7));
-        assert_ne!(init_velocities(&top, 300.0, 7), init_velocities(&top, 300.0, 8));
+        assert_eq!(
+            init_velocities(&top, 300.0, 7),
+            init_velocities(&top, 300.0, 7)
+        );
+        assert_ne!(
+            init_velocities(&top, 300.0, 7),
+            init_velocities(&top, 300.0, 8)
+        );
     }
 
     #[test]

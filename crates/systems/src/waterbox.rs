@@ -12,7 +12,7 @@ use anton_forcefield::water::{WaterModel, MASS_H, MASS_O};
 use anton_geometry::{PeriodicBox, Vec3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Liquid-water molecule number density at 300 K (molecules/Å³).
 pub const WATER_DENSITY: f64 = 0.0334;
@@ -22,19 +22,31 @@ pub const WATER_DENSITY: f64 = 0.0334;
 pub struct Buckets {
     pbox: PeriodicBox,
     cell: f64,
-    map: HashMap<(i32, i32, i32), Vec<u32>>,
+    // BTreeMap, not HashMap: assembly must be reproducible, and an ordered
+    // map keeps any future iteration over buckets deterministic (detlint D2).
+    map: BTreeMap<(i32, i32, i32), Vec<u32>>,
     points: Vec<Vec3>,
     charges: Vec<f64>,
 }
 
 impl Buckets {
     pub fn new(pbox: PeriodicBox, cell: f64) -> Buckets {
-        Buckets { pbox, cell, map: HashMap::new(), points: Vec::new(), charges: Vec::new() }
+        Buckets {
+            pbox,
+            cell,
+            map: BTreeMap::new(),
+            points: Vec::new(),
+            charges: Vec::new(),
+        }
     }
 
     fn key(&self, p: Vec3) -> (i32, i32, i32) {
         let w = self.pbox.wrap(p);
-        ((w.x / self.cell) as i32, (w.y / self.cell) as i32, (w.z / self.cell) as i32)
+        (
+            (w.x / self.cell) as i32,
+            (w.y / self.cell) as i32,
+            (w.z / self.cell) as i32,
+        )
     }
 
     pub fn insert(&mut self, p: Vec3, charge: f64) {
@@ -155,7 +167,7 @@ pub fn append_waters(
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0000);
     const TRIES: usize = 8;
 
-    for w in 0..n_waters {
+    for site in sites.iter().take(n_waters) {
         let mut best: Option<(f64, Vec<Vec3>)> = None;
         for _ in 0..TRIES {
             let dir = random_unit(&mut rng);
@@ -164,7 +176,7 @@ pub fn append_waters(
                 perp = random_unit(&mut rng).cross(dir);
             }
             let perp = perp.normalized().unwrap();
-            let cand = model.place(sites[w], dir, perp);
+            let cand = model.place(*site, dir, perp);
             let q_h = model.q_h;
             let q_neg = model.q_neg;
             let mut score = 0.0;
@@ -184,7 +196,7 @@ pub fn append_waters(
                     }
                 });
             }
-            if best.as_ref().map_or(true, |(s, _)| score < *s) {
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
                 best = Some((score, cand));
             }
         }
@@ -219,7 +231,6 @@ pub fn append_waters(
             top.virtual_sites.push(v);
         }
         top.molecule_starts.push(positions.len() as u32);
-        let _ = w;
     }
     first
 }
@@ -258,7 +269,15 @@ pub fn pure_water_topology(
     let empty = Buckets::new(*pbox, 4.5);
     let sites = water_sites(pbox, &empty, 0.0, seed);
     let mut occupied = Buckets::new(*pbox, 4.5);
-    append_waters(&mut top, &mut positions, model, &sites, n_waters, &mut occupied, seed);
+    append_waters(
+        &mut top,
+        &mut positions,
+        model,
+        &sites,
+        n_waters,
+        &mut occupied,
+        seed,
+    );
     top.rebuild_exclusions(ExclusionPolicy::amber_like());
     (top, positions)
 }

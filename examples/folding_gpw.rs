@@ -29,7 +29,9 @@ fn main() {
         }
     }
     let ev = detect_transitions(&q, 0.75, 0.35);
-    let (qmin, qmax) = q.iter().fold((1.0f64, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (qmin, qmax) = q
+        .iter()
+        .fold((1.0f64, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     println!(
         "Q(t): min {qmin:.2}, max {qmax:.2}; folded fraction {:.2}; {} unfolding / {} folding events",
         ev.folded_fraction,

@@ -28,7 +28,10 @@ fn main() {
 
     let mut sim = AntonSimulation::builder(sys)
         .velocities_from_temperature(300.0, 7)
-        .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 100.0 })
+        .thermostat(ThermostatKind::Berendsen {
+            target_k: 300.0,
+            tau_fs: 100.0,
+        })
         .build();
     println!("running 4 cycles (20 fs) as a correctness probe…");
     let t = std::time::Instant::now();

@@ -25,7 +25,10 @@ fn main() {
 
     let mut sim = AntonSimulation::builder(sys)
         .velocities_from_temperature(300.0, 3)
-        .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 100.0 })
+        .thermostat(ThermostatKind::Berendsen {
+            target_k: 300.0,
+            tau_fs: 100.0,
+        })
         .build();
     sim.run_cycles(50); // equilibrate
 

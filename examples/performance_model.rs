@@ -26,7 +26,10 @@ fn synthetic_stats(n_atoms: usize) -> SystemStats {
 fn main() {
     let model = PerfModel::anton_512();
     println!("512-node Anton, protein-in-water (the Figure 5 sweep):");
-    println!("{:>9} | {:>8} | {:>10} | {:>8}", "atoms", "µs/day", "µs/step", "subdiv");
+    println!(
+        "{:>9} | {:>8} | {:>10} | {:>8}",
+        "atoms", "µs/day", "µs/step", "subdiv"
+    );
     for n in [5_000usize, 10_000, 25_000, 50_000, 75_000, 100_000, 125_000] {
         let b = model.breakdown(&synthetic_stats(n));
         println!(
@@ -41,7 +44,11 @@ fn main() {
     for k in [1usize, 2, 8, 32, 128, 512, 2048, 8192, 32768] {
         let cfg = MachineConfig::with_nodes(k);
         let b = PerfModel::new(cfg).breakdown(&dhfr);
-        println!("{k:>6} | {:>14} | {:>8.2}", format!("{:?}", cfg.torus), b.us_per_day);
+        println!(
+            "{k:>6} | {:>14} | {:>8.2}",
+            format!("{:?}", cfg.torus),
+            b.us_per_day
+        );
     }
     println!(
         "\nNote the small-system plateau: beyond 512 nodes a 23.5k-atom system gains\n\

@@ -27,18 +27,27 @@ fn main() {
         let mut sim = AntonSimulation::builder(build())
             .velocities_from_temperature(300.0, 7)
             .decomposition(decomposition)
-            .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 25.0 })
+            .thermostat(ThermostatKind::Berendsen {
+                target_k: 300.0,
+                tau_fs: 25.0,
+            })
             .build();
         sim.run_cycles(40);
         sim
     };
     let a = run(Decomposition::SingleRank);
     let b = run(Decomposition::SingleRank);
-    println!("determinism        : two runs bitwise equal  = {}", a.state == b.state);
+    println!(
+        "determinism        : two runs bitwise equal  = {}",
+        a.state == b.state
+    );
 
     // 2. Parallel invariance: same trajectory on a simulated 64-node torus.
     let c = run(Decomposition::Nodes(64));
-    println!("parallel invariance: 1 rank vs 64 nodes      = {}", a.state == c.state);
+    println!(
+        "parallel invariance: 1 rank vs 64 nodes      = {}",
+        a.state == c.state
+    );
 
     // 3. Exact reversibility (no constraints → use an unconstrained copy).
     let mut sys = build();
@@ -52,7 +61,10 @@ fn main() {
     sim.negate_velocities();
     sim.run_cycles(20);
     sim.negate_velocities();
-    println!("exact reversibility: recovered initial state = {}", sim.state == x0);
+    println!(
+        "exact reversibility: recovered initial state = {}",
+        sim.state == x0
+    );
 
     println!(
         "\nenergy after 40 cycles: {:.2} kcal/mol at {:.0} K over {} atoms",

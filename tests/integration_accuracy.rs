@@ -4,7 +4,7 @@
 
 use anton_core::AntonSimulation;
 use anton_forcefield::water::TIP3P;
-use anton_refmd::reference::{reference_forces, rms_force_error};
+use anton_refmd::reference::reference_forces;
 use anton_refmd::TaskProfile;
 use anton_refmd::{ForceEvaluator, RefSimulation, Thermostat};
 use anton_systems::catalog::build_solvated;
@@ -66,7 +66,10 @@ fn engines_agree_on_potential_energy() {
     // self-interaction constants; 1% agreement on the absolute potential is
     // the expected envelope at paper-like parameters.
     let rel = (e_a - e_r).abs() / e_r.abs();
-    assert!(rel < 1e-2, "potential energy mismatch: anton {e_a} vs refmd {e_r}");
+    assert!(
+        rel < 1e-2,
+        "potential energy mismatch: anton {e_a} vs refmd {e_r}"
+    );
 }
 
 #[test]
@@ -75,8 +78,7 @@ fn short_trajectories_stay_statistically_consistent() {
     // chaotically — but conserved/thermodynamic quantities must agree.
     // Pure water: a relaxed, well-conditioned starting configuration.
     let pbox = anton_geometry::PeriodicBox::cubic(18.0);
-    let (top, positions) =
-        anton_systems::waterbox::pure_water_topology(&pbox, &TIP3P, 150, 11);
+    let (top, positions) = anton_systems::waterbox::pure_water_topology(&pbox, &TIP3P, 150, 11);
     let sys = anton_systems::System {
         name: "w".into(),
         pbox,
@@ -94,7 +96,10 @@ fn short_trajectories_stay_statistically_consistent() {
         refs.run_cycle();
     }
     let (ta, tr) = (anton.temperature_k(), refs.temperature_k());
-    assert!((ta - tr).abs() < 60.0, "temperatures diverged: {ta} vs {tr}");
+    assert!(
+        (ta - tr).abs() < 60.0,
+        "temperatures diverged: {ta} vs {tr}"
+    );
     // Energies agree up to the engines' different mesh self-term ripple
     // (a constant offset scale, physically immaterial).
     let (ea, er) = (anton.total_energy(), refs.total_energy());

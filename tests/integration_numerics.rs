@@ -105,7 +105,10 @@ fn thermostatted_runs_are_still_deterministic() {
     let run = || {
         let mut sim = AntonSimulation::builder(mini_protein_system(9))
             .velocities_from_temperature(250.0, 19)
-            .thermostat(ThermostatKind::Berendsen { target_k: 300.0, tau_fs: 50.0 })
+            .thermostat(ThermostatKind::Berendsen {
+                target_k: 300.0,
+                tau_fs: 50.0,
+            })
             .build();
         sim.run_cycles(8);
         sim.state

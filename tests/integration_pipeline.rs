@@ -25,7 +25,9 @@ fn figure5_ordering_holds_across_built_systems() {
     let mut last = f64::INFINITY;
     for e in &TABLE4 {
         let sys = table4_system(e, 1);
-        let rate = PerfModel::anton_512().breakdown(&system_stats(&sys)).us_per_day;
+        let rate = PerfModel::anton_512()
+            .breakdown(&system_stats(&sys))
+            .us_per_day;
         assert!(
             rate < last * 1.05,
             "{}: rate {rate} did not decrease (prev {last})",
@@ -48,7 +50,10 @@ fn bpti_system_matches_section_5_3_exactly() {
     let sys = bpti(3);
     assert_eq!(sys.n_atoms(), 17758);
     assert_eq!(sys.topology.virtual_sites.len(), 4215);
-    assert_eq!(sys.topology.charge.iter().filter(|&&q| q == -1.0).count(), 6);
+    assert_eq!(
+        sys.topology.charge.iter().filter(|&&q| q == -1.0).count(),
+        6
+    );
     assert!((sys.pbox.edge().x - 51.3).abs() < 1e-9);
     assert_eq!(sys.params.mesh, [32; 3]);
     assert!((sys.params.cutoff - 10.4).abs() < 1e-9);
@@ -66,9 +71,15 @@ fn all_table4_systems_build_and_validate() {
     for e in TABLE4.iter().take(4) {
         let sys = table4_system(e, 1);
         assert_eq!(sys.n_atoms(), e.n_atoms, "{}", e.name);
-        sys.validate().unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        sys.validate()
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
         let s = system_stats(&sys);
         assert!(s.protein_atoms > 0);
-        assert!((s.density() - 0.0963).abs() < 0.01, "{}: density {}", e.name, s.density());
+        assert!(
+            (s.density() - 0.0963).abs() < 0.01,
+            "{}: density {}",
+            e.name,
+            s.density()
+        );
     }
 }

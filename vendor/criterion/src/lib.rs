@@ -1,0 +1,95 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides `Criterion`, `black_box`, `criterion_group!`/`criterion_main!`
+//! and benchmark groups with the call signatures used by this workspace's
+//! benches. Measurement is a simple adaptive-batch wall-clock timer printing
+//! ns/iter — adequate for relative comparisons during development.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || batch >= 1 << 24 {
+                self.ns_per_iter = dt.as_nanos() as f64 / batch as f64;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        f(&mut b);
+        println!("bench {name:<40} {:>14.1} ns/iter", b.ns_per_iter);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        f(&mut b);
+        println!("bench {:<40} {:>14.1} ns/iter", format!("{}/{}", self.name, name), b.ns_per_iter);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

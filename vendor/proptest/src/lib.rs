@@ -1,0 +1,357 @@
+//! Offline stand-in for the `proptest` crate surface used in this workspace.
+//!
+//! Supports `proptest! { #[test] fn f(x in strategy, ...) { body } }` with
+//! range strategies over integers and floats, `any::<T>()` for primitives,
+//! `proptest::collection::vec`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros. Each test runs [`CASES`] deterministic cases seeded
+//! from the test's module path, so failures are reproducible run-to-run (no
+//! shrinking — the failing inputs are printed instead).
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// Cases each property runs (accepted, i.e. not rejected by `prop_assume!`).
+pub const CASES: u32 = 256;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip this case.
+    Reject(String),
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG (SplitMix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Holds the RNG for one property test. Seeded from the test name so every
+/// property sees an independent, stable stream.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(name: &str) -> TestRunner {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { rng: TestRng(h) }
+    }
+
+    #[inline]
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree; a
+/// strategy just samples uniformly.
+pub trait Strategy {
+    type Value: core::fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = if span <= u64::MAX as u128 {
+                    (rng.next_u64() as u128 * span) >> 64
+                } else {
+                    rng.next_u64() as u128 % span
+                };
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = if span <= u64::MAX as u128 {
+                    (rng.next_u64() as u128 * span) >> 64
+                } else {
+                    rng.next_u64() as u128 % span
+                };
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! strategy_float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+strategy_float_range!(f32, f64);
+
+/// Primitives supported by [`any`].
+pub trait ArbitraryPrim: core::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl ArbitraryPrim for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl ArbitraryPrim for u128 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryPrim for i128 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl ArbitraryPrim for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryPrim for f64 {
+    /// Finite floats spanning many magnitudes (no NaN/inf: the numeric
+    /// properties in this workspace are about finite values).
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let exp = (rng.next_u64() % 1200) as i32 - 600;
+        let mant = rng.unit_f64() * 2.0 - 1.0;
+        mant * (2.0f64).powi(exp.clamp(-300, 300))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+    #[inline]
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: uniform over the whole domain of a primitive type.
+pub fn any<T: ArbitraryPrim>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, Strategy, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Expands each `fn name(arg in strategy, ...) { body }` into a `#[test]`
+/// running [`CASES`](crate::CASES) deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner =
+                    $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < $crate::CASES {
+                    __attempts += 1;
+                    if __attempts > $crate::CASES * 64 {
+                        panic!(concat!(
+                            "proptest ", stringify!($name),
+                            ": too many cases rejected by prop_assume!"
+                        ));
+                    }
+                    $(let $arg = $crate::Strategy::sample(&($strat), __runner.rng());)*
+                    let __dbg = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                        $(&$arg),*
+                    );
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "property {} falsified at case #{}:\n{}\ninputs:\n{}",
+                                stringify!($name), __accepted, __msg, __dbg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "{} != {}: {:?} vs {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} ({:?} vs {:?})", format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "{} == {}: both {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in -50i32..50, b in 0usize..=7, x in -2.0f64..2.0) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!(b <= 7);
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects(v in any::<i64>()) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vectors_sized(vals in crate::collection::vec(0i64..10, 2..20)) {
+            prop_assert!(vals.len() >= 2 && vals.len() < 20);
+            prop_assert!(vals.iter().all(|&v| (0..10).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::TestRunner::new("x");
+        let mut b = crate::TestRunner::new("x");
+        for _ in 0..32 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+}

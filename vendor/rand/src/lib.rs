@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rand` 0.8 API surface used in this workspace.
+//!
+//! Implements `rngs::SmallRng` as xoshiro256++ with the same SplitMix64
+//! `seed_from_u64` expansion as rand 0.8.5, so seeded streams of `next_u64`,
+//! `gen::<f64>()` (53-bit multiply convention) and `gen::<i64>()` are
+//! bit-identical to the real crate. `gen_range` uses a simple widening-
+//! multiply reduction: uniform and deterministic, though not stream-identical
+//! to rand's rejection sampler (nothing in the workspace depends on that).
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Upper 32 bits, matching rand 0.8's xoshiro256++ `next_u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only `seed_from_u64` is used in this workspace).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable from the "standard" distribution via [`Rng::gen`].
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8 Standard: 53 high bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64,
+              u32 => next_u32, i32 => next_u32, u16 => next_u32, i16 => next_u32,
+              u8 => next_u32, i8 => next_u32, u128 => next_u64, i128 => next_u64);
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]`. The blanket
+/// [`SampleRange`] impls below tie the range's element type to `gen_range`'s
+/// return type, which is what lets literal defaulting (`-0.03..0.03` → f64)
+/// work exactly as it does with the real crate.
+pub trait SampleUniform: Sized {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Widening-multiply reduction of a 64-bit draw (spans here always fit u64;
+    // the u128 type just keeps full-range i64/u64 spans representable).
+    if span <= u64::MAX as u128 {
+        (rng.next_u64() as u128 * span) >> 64
+    } else {
+        rng.next_u64() as u128 % span
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "gen_range: empty range");
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+            ) -> $t {
+                let unit = <$t as StandardSample>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// The user-facing random-value interface, blanket-implemented for every
+/// [`RngCore`] just like the real crate.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        /// SplitMix64 state expansion, identical to rand 0.8.5.
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in s.iter_mut() {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s = [1, 2, 3, 4]; // xoshiro's all-zero state is degenerate
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<i64>(), b.gen::<i64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            let k = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&k));
+            let k = rng.gen_range(0usize..=9);
+            assert!(k <= 9);
+            let f = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_range_i64_span_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = rng.gen_range(-(1i64 << 61)..(1i64 << 61));
+            assert!((-(1i64 << 61)..(1i64 << 61)).contains(&v));
+        }
+    }
+}

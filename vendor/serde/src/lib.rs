@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic container with no crates.io access.
+//! The real serde is used only for `#[derive(Serialize, Deserialize)]` on
+//! plain-old-data types; nothing in the workspace calls serialization
+//! methods or uses the traits as bounds. This stub provides the two trait
+//! names plus no-op derive macros so those derives compile unchanged. If
+//! network access ever becomes available, deleting `[patch.crates-io]` from
+//! the workspace manifest restores the real crate with zero source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. The no-op derive does
+/// not implement it; no code in this workspace requires the impl.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and lifetime arity.
+pub trait Deserialize<'de>: Sized {}

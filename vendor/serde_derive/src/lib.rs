@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline serde stand-in (see vendor/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types but never
+//! serializes anything, so emitting no impls is sufficient and avoids a
+//! dependency on `syn`/`quote` (unavailable offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
