@@ -1,0 +1,122 @@
+//! Node/thread scaling on the simulated machine: measured step time,
+//! modeled torus communication from the exchange-plan counters, and a
+//! bitwise cross-check that every configuration produces the same
+//! trajectory.
+//!
+//! `cargo run --release -p anton-bench --bin scaling [--full]`
+//!
+//! Each row runs the same waterbox under a different simulated node count
+//! and worker-thread count. "state" is a checksum of the exact final state:
+//! identical in every row, per the parallel-invariance property (paper §4).
+//! The comm columns come from `machine::perf::ExchangeCounters`, metered by
+//! the static `ExchangePlan` over the simulated torus — modeled traffic,
+//! not host traffic.
+
+use anton_core::{AntonSimulation, Decomposition};
+use anton_machine::MachineConfig;
+use anton_systems::spec::RunParams;
+use anton_systems::System;
+use std::time::Instant;
+
+fn waterbox(full: bool) -> System {
+    let (edge, waters) = if full { (36.0, 1500) } else { (22.0, 340) };
+    let pbox = anton_geometry::PeriodicBox::cubic(edge);
+    let (top, positions) = anton_systems::waterbox::pure_water_topology(
+        &pbox,
+        &anton_forcefield::water::TIP3P,
+        waters,
+        3,
+    );
+    System {
+        name: "scaling-water".into(),
+        pbox,
+        topology: top,
+        positions,
+        params: RunParams::paper(7.5, 16),
+    }
+}
+
+/// FNV-1a over the exact raw state bytes.
+fn state_checksum(sim: &AntonSimulation) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in sim.state.to_bytes().as_slice() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    let full = anton_bench::full_mode();
+    let sys = waterbox(full);
+    let cycles = if full { 20 } else { 8 };
+    let k = sys.params.longrange_every.max(1) as u64;
+    let steps = cycles as u64 * k;
+
+    anton_bench::header(
+        &format!(
+            "Node/thread scaling — {} atoms, {} steps per row",
+            sys.n_atoms(),
+            steps
+        ),
+        &[
+            "nodes",
+            "thr",
+            "ms/step",
+            "links/rank",
+            "KB/step·rank",
+            "hops",
+            "comm µs (model)",
+            "state",
+        ],
+    );
+
+    let mut checksums = Vec::new();
+    for &nodes in &[1usize, 8, 64] {
+        for &threads in &[1usize, 2, 4] {
+            let decomposition = if nodes == 1 && threads == 1 {
+                Decomposition::SingleRank
+            } else {
+                Decomposition::Nodes(nodes)
+            };
+            let mut sim = AntonSimulation::builder(sys.clone())
+                .velocities_from_temperature(300.0, 7)
+                .decomposition(decomposition)
+                .threads(threads)
+                .build();
+            let t0 = Instant::now();
+            sim.run_cycles(cycles);
+            let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
+
+            let (links, kb, hops, comm) = match sim.pipeline.rank_set() {
+                Some(rs) => {
+                    let c = &sim.pipeline.counters;
+                    let cfg = MachineConfig::with_nodes(rs.rank_count());
+                    (
+                        format!("{}", rs.plan.max_links_per_rank()),
+                        format!("{:.2}", c.per_rank_step_bytes(rs.rank_count()) / 1024.0),
+                        format!("{:.2}", c.mean_hops()),
+                        format!("{:.3}", c.modeled_step_comm_us(&cfg, rs.rank_count())),
+                    )
+                }
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            let sum = state_checksum(&sim);
+            checksums.push(sum);
+            println!(
+                "{:>5} | {:>3} | {:>7.3} | {:>10} | {:>12} | {:>4} | {:>15} | {:016x}",
+                nodes, threads, ms_per_step, links, kb, hops, comm, sum
+            );
+        }
+    }
+
+    let invariant = checksums.iter().all(|&c| c == checksums[0]);
+    println!(
+        "\nparallel invariance: {}",
+        if invariant {
+            "all configurations bitwise identical"
+        } else {
+            "VIOLATED — configurations diverged"
+        }
+    );
+    assert!(invariant, "trajectory diverged across configurations");
+}

@@ -3,6 +3,7 @@
 //! migration bookkeeping.
 
 use crate::forces::{Decomposition, ForcePipeline, RawForces};
+use crate::pool::threads_from_env;
 use crate::state::{FixedState, FORCE_FRAC, VEL_FRAC};
 use anton_fixpoint::rounding::rne_f64;
 use anton_forcefield::units::ACCEL;
@@ -25,6 +26,7 @@ pub struct SimulationBuilder {
     system: System,
     velocities: Option<Vec<Vec3>>,
     decomposition: Decomposition,
+    threads: usize,
     thermostat: ThermostatKind,
     constraints_enabled: bool,
 }
@@ -44,6 +46,14 @@ impl SimulationBuilder {
 
     pub fn decomposition(mut self, d: Decomposition) -> Self {
         self.decomposition = d;
+        self
+    }
+
+    /// Worker-thread count for the per-rank fan-out (default: the
+    /// `ANTON_THREADS` environment variable, else 1). Never affects
+    /// results — trajectories are bitwise invariant across thread counts.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -67,6 +77,7 @@ impl SimulationBuilder {
             self.system,
             velocities,
             self.decomposition,
+            self.threads,
             self.thermostat,
             self.constraints_enabled,
         )
@@ -78,7 +89,6 @@ pub struct AntonSimulation {
     pub system: System,
     pub state: FixedState,
     pub pipeline: ForcePipeline,
-    pub decomposition: Decomposition,
     pub thermostat: ThermostatKind,
     pub constraints_enabled: bool,
     short: RawForces,
@@ -99,6 +109,7 @@ impl AntonSimulation {
             system,
             velocities: None,
             decomposition: Decomposition::SingleRank,
+            threads: threads_from_env(),
             thermostat: ThermostatKind::None,
             constraints_enabled: true,
         }
@@ -108,11 +119,12 @@ impl AntonSimulation {
         system: System,
         velocities: Vec<Vec3>,
         decomposition: Decomposition,
+        threads: usize,
         thermostat: ThermostatKind,
         constraints_enabled: bool,
     ) -> AntonSimulation {
         let state = FixedState::from_f64(&system.pbox, &system.positions, &velocities);
-        let pipeline = ForcePipeline::new(&system);
+        let pipeline = ForcePipeline::new(&system, decomposition, threads);
         let n = system.n_atoms();
         let dt = system.params.dt_fs;
         let k = system.params.longrange_every.max(1) as f64;
@@ -142,7 +154,6 @@ impl AntonSimulation {
             system,
             state,
             pipeline,
-            decomposition,
             thermostat,
             constraints_enabled,
             short: RawForces::zeroed(n),
@@ -199,23 +210,15 @@ impl AntonSimulation {
 
     fn refresh_short(&mut self) {
         self.short.clear();
-        self.pipeline.range_limited(
-            &self.system,
-            &self.state,
-            self.decomposition,
-            &mut self.short,
-        );
         self.pipeline
-            .bonded(&self.system, &self.state, &mut self.short);
+            .short_range(&self.system, &self.state, &mut self.short);
         Self::spread_vsite_forces(&mut self.short, &self.system);
     }
 
     fn refresh_long(&mut self) {
         self.long.clear();
         self.pipeline
-            .reciprocal(&self.system, &self.state, &mut self.long);
-        self.pipeline
-            .corrections(&self.system, &self.state, &mut self.long);
+            .long_range(&self.system, &self.state, &mut self.long);
         Self::spread_vsite_forces(&mut self.long, &self.system);
     }
 
@@ -328,6 +331,12 @@ impl AntonSimulation {
 
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// The decomposition this simulation was built with (a construction-time
+    /// property of its force pipeline).
+    pub fn decomposition(&self) -> Decomposition {
+        self.pipeline.decomposition()
     }
 
     /// Recompute both force classes from the current state — required after
@@ -526,6 +535,31 @@ mod tests {
                 run(Decomposition::Nodes(nodes)),
                 reference,
                 "trajectory diverged on {nodes} nodes"
+            );
+        }
+    }
+
+    /// The same invariance across *worker thread* counts: the per-rank
+    /// fan-out writes private accumulators merged in fixed rank order, so
+    /// the pool size can only change scheduling, never a bit of the state.
+    #[test]
+    fn trajectories_are_bitwise_invariant_across_thread_counts() {
+        let run = |threads| {
+            let sys = water_system(80, 5);
+            let mut sim = AntonSimulation::builder(sys)
+                .velocities_from_temperature(300.0, 9)
+                .decomposition(Decomposition::Nodes(8))
+                .threads(threads)
+                .build();
+            sim.run_cycles(4);
+            sim.state
+        };
+        let reference = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                run(threads),
+                reference,
+                "trajectory diverged on {threads} worker threads"
             );
         }
     }

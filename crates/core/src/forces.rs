@@ -7,7 +7,18 @@
 //! is associative and commutative, so the decomposition (single rank or any
 //! simulated node grid) can only permute additions and never changes a bit
 //! of the result. This is the software realization of paper §4.
+//!
+//! Under a [`Decomposition::Nodes`] decomposition the pipeline executes as
+//! a set of [`Rank`](crate::ranks::Rank)s: each rank computes its NT pairs,
+//! statically assigned bonded terms, and correction pairs into a *private*
+//! [`RawForces`] accumulator (driven by a pinned-size [`DetPool`]), and the
+//! rank buffers are merged serially in fixed rank order. No atomics, no
+//! cross-thread reductions — thread scheduling can only change when a rank
+//! buffer is filled, never its contents, so trajectories are bitwise
+//! invariant across node count *and* worker-thread count.
 
+use crate::pool::DetPool;
+use crate::ranks::RankSet;
 use crate::state::{FixedState, ENERGY_FRAC, FORCE_FRAC};
 use anton_ewald::direct::DirectKernel;
 use anton_ewald::gse::{GseFixed, GseParams};
@@ -16,10 +27,9 @@ use anton_fixpoint::rounding::rne_f64;
 use anton_fixpoint::Q20;
 use anton_forcefield::bonded;
 use anton_forcefield::ExclusionPolicy;
-use anton_geometry::{CellGrid, IVec3, Vec3};
+use anton_geometry::{CellGrid, Vec3};
+use anton_machine::perf::ExchangeCounters;
 use anton_machine::Ppip;
-use anton_nt::assign::{NodeGrid, NtAssignment};
-use anton_nt::migration::assign_homes;
 use anton_systems::System;
 
 /// How force work is enumerated (never affects results, bitwise).
@@ -73,6 +83,25 @@ impl RawForces {
         self.virial = anton_fixpoint::Wide::ZERO;
     }
 
+    /// Fold another accumulator into this one with wrapping adds — the
+    /// deterministic rank merge. Since every summand was quantized before
+    /// accumulation and wrapping addition is associative and commutative,
+    /// merging rank buffers in *any* fixed order reproduces the serial
+    /// result bitwise; the pipeline always merges in rank-index order.
+    pub fn merge_from(&mut self, other: &RawForces) {
+        debug_assert_eq!(self.f.len(), other.f.len());
+        for (a, b) in self.f.iter_mut().zip(&other.f) {
+            a[0] = a[0].wrapping_add(b[0]);
+            a[1] = a[1].wrapping_add(b[1]);
+            a[2] = a[2].wrapping_add(b[2]);
+        }
+        self.e_range_limited = self.e_range_limited.wrapping_add(other.e_range_limited);
+        self.e_bonded = self.e_bonded.wrapping_add(other.e_bonded);
+        self.e_correction = self.e_correction.wrapping_add(other.e_correction);
+        self.e_reciprocal = self.e_reciprocal.wrapping_add(other.e_reciprocal);
+        self.virial = self.virial.wrapping_add(other.virial);
+    }
+
     /// The accumulated pairwise virial (kcal/mol).
     pub fn virial_f64(&self) -> f64 {
         self.virial.to_f64()
@@ -99,7 +128,7 @@ impl RawForces {
     }
 }
 
-/// The pipeline bound to one system.
+/// The pipeline bound to one system and one decomposition.
 pub struct ForcePipeline {
     pub ppip: Ppip,
     pub gse: GseFixed,
@@ -109,15 +138,37 @@ pub struct ForcePipeline {
     pub half_edge_q20: [Q20; 3],
     policy: ExclusionPolicy,
     /// Import-region margin (Å) covering constraint-group co-location and
-    /// deferred migration (§3.2.4).
+    /// deferred migration (§3.2.4); baked into the rank set's NT reach at
+    /// construction.
     pub import_margin: f64,
+    decomposition: Decomposition,
+    pool: DetPool,
+    ranks: Option<RankSet>,
+    /// Modeled torus traffic of every `Nodes(n)` force evaluation.
+    pub counters: ExchangeCounters,
+    /// Per-rank private accumulators, reused across steps.
+    scratch: Vec<RawForces>,
+    /// Decoded Cartesian positions, reused across steps.
+    pos_buf: Vec<Vec3>,
 }
 
+const IMPORT_MARGIN: f64 = 8.0;
+
 impl ForcePipeline {
-    pub fn new(sys: &System) -> ForcePipeline {
+    /// Build the pipeline. The decomposition and worker-thread count are
+    /// construction-time properties: `Nodes(n)` builds the full rank
+    /// architecture (grid, NT assignment, exchange plan, static bonded and
+    /// correction work lists) once, here.
+    pub fn new(sys: &System, decomposition: Decomposition, threads: usize) -> ForcePipeline {
         let beta = sys.params.ewald_beta();
         let e = sys.pbox.edge();
         let gse_params = GseParams::auto(sys.params.cutoff, sys.params.spread_cutoff);
+        let ranks = match decomposition {
+            Decomposition::SingleRank => None,
+            Decomposition::Nodes(n) => {
+                Some(RankSet::build(sys, n, sys.params.cutoff + IMPORT_MARGIN))
+            }
+        };
         ForcePipeline {
             ppip: Ppip::build(beta, sys.params.cutoff),
             gse: GseFixed::new(Mesh::new(sys.params.mesh, sys.pbox), gse_params),
@@ -134,8 +185,27 @@ impl ForcePipeline {
                 .exclusions
                 .policy
                 .unwrap_or(ExclusionPolicy::amber_like()),
-            import_margin: 8.0,
+            import_margin: IMPORT_MARGIN,
+            decomposition,
+            pool: DetPool::new(threads),
+            ranks,
+            counters: ExchangeCounters::default(),
+            scratch: Vec::new(),
+            pos_buf: Vec::new(),
         }
+    }
+
+    pub fn decomposition(&self) -> Decomposition {
+        self.decomposition
+    }
+
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The rank architecture (`None` under [`Decomposition::SingleRank`]).
+    pub fn rank_set(&self) -> Option<&RankSet> {
+        self.ranks.as_ref()
     }
 
     /// One range-limited pair: fixed-point r², exact integer cutoff test,
@@ -182,20 +252,6 @@ impl ForcePipeline {
         Some((fi, eq))
     }
 
-    /// Range-limited forces under the chosen decomposition.
-    pub fn range_limited(
-        &self,
-        sys: &System,
-        state: &FixedState,
-        decomposition: Decomposition,
-        out: &mut RawForces,
-    ) {
-        match decomposition {
-            Decomposition::SingleRank => self.range_limited_cellgrid(sys, state, out),
-            Decomposition::Nodes(n) => self.range_limited_nt(sys, state, n, out),
-        }
-    }
-
     fn apply_pair(
         &self,
         sys: &System,
@@ -220,6 +276,53 @@ impl ForcePipeline {
         }
     }
 
+    /// Range-limited forces under the pipeline's decomposition.
+    pub fn range_limited(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        match self.decomposition {
+            Decomposition::SingleRank => self.range_limited_cellgrid(sys, state, out),
+            Decomposition::Nodes(_) => self.rank_fanout(sys, state, out, false),
+        }
+    }
+
+    /// The short-range force class of a RESPA inner step: range-limited
+    /// pairs plus bonded terms. Under `Nodes(n)` both are computed per rank
+    /// in one fan-out.
+    pub fn short_range(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        match self.decomposition {
+            Decomposition::SingleRank => {
+                self.range_limited_cellgrid(sys, state, out);
+                self.bonded(sys, state, out);
+            }
+            Decomposition::Nodes(_) => self.rank_fanout(sys, state, out, true),
+        }
+    }
+
+    /// The long-range force class of a RESPA outer step: reciprocal (GSE)
+    /// plus correction pairs. Under `Nodes(n)` the corrections run per rank
+    /// on the pool while the (undistributed) GSE mesh phase runs on the
+    /// calling thread — the software analogue of the concurrent HTIS and
+    /// flexible chains of §3.2. GSE FFT distribution over ranks is future
+    /// work; see DESIGN.md.
+    pub fn long_range(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        if self.ranks.is_none() {
+            self.reciprocal(sys, state, out);
+            self.corrections(sys, state, out);
+            return;
+        }
+        let mut scratch = self.take_scratch(sys.n_atoms());
+        let this = &*self;
+        let rs = this.ranks.as_ref().expect("rank set checked above");
+        this.pool.run_overlapped(
+            &mut scratch,
+            |r, buf| this.rank_corrections(sys, state, rs, r, buf),
+            || this.reciprocal(sys, state, out),
+        );
+        self.scratch = scratch;
+        for s in &self.scratch {
+            out.merge_from(s);
+        }
+    }
+
     fn range_limited_cellgrid(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
         let pos = state.decode_positions(&sys.pbox);
         // Slack over the cutoff: the decode and the fixed r² agree to
@@ -230,141 +333,245 @@ impl ForcePipeline {
         });
     }
 
-    /// NT-method enumeration over a simulated node grid: atoms live on the
-    /// home node of their constraint-group leader; each node enumerates its
-    /// tower × plate candidates and keeps the pairs the NT assignment maps
-    /// to it. The exact fixed-point cutoff filter makes the interaction set
-    /// identical to the single-rank path; wrapping accumulation makes the
-    /// *forces* identical bitwise.
-    fn range_limited_nt(
+    /// Detach the per-rank scratch accumulators, sized and zeroed.
+    /// (Taken out of `self` so the fan-out can borrow `self` shared while
+    /// the pool mutates the buffers.)
+    fn take_scratch(&mut self, n_atoms: usize) -> Vec<RawForces> {
+        let n_ranks = self.ranks.as_ref().map_or(0, RankSet::rank_count);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize_with(n_ranks, || RawForces::zeroed(n_atoms));
+        for s in &mut scratch {
+            if s.f.len() == n_atoms {
+                s.clear();
+            } else {
+                *s = RawForces::zeroed(n_atoms);
+            }
+        }
+        scratch
+    }
+
+    /// Execute the short-range work per rank: re-home atoms, meter the
+    /// exchange plan, fan the ranks out over the pool into private
+    /// accumulators, and merge them in fixed rank order.
+    fn rank_fanout(
+        &mut self,
+        sys: &System,
+        state: &FixedState,
+        out: &mut RawForces,
+        with_bonded: bool,
+    ) {
+        {
+            let rs = self
+                .ranks
+                .as_mut()
+                .expect("rank fan-out without a rank set");
+            rs.prepare(state, &mut self.counters);
+        }
+        if with_bonded {
+            state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
+        }
+        let mut scratch = self.take_scratch(sys.n_atoms());
+        let this = &*self;
+        let rs = this.ranks.as_ref().expect("rank set checked above");
+        this.pool.run(&mut scratch, |r, buf| {
+            this.rank_pairs(sys, state, rs, r, buf);
+            if with_bonded {
+                this.rank_bonded(sys, rs, r, buf);
+            }
+        });
+        self.scratch = scratch;
+        for s in &self.scratch {
+            out.merge_from(s);
+        }
+    }
+
+    /// NT-method pair enumeration for one rank: tower × plate candidates
+    /// over the current home-box index, filtered by the exactly-once
+    /// assignment. The exact fixed-point cutoff filter makes the
+    /// interaction set identical to the single-rank path; wrapping
+    /// accumulation makes the *forces* identical bitwise.
+    fn rank_pairs(
         &self,
         sys: &System,
         state: &FixedState,
-        nodes: usize,
+        rs: &RankSet,
+        r: usize,
         out: &mut RawForces,
     ) {
-        let dims = anton_machine::config::near_cubic_torus(nodes);
-        let grid = NodeGrid::new(dims[0] as i32, dims[1] as i32, dims[2] as i32);
-        let e = sys.pbox.edge();
-        let box_edges = [
-            e.x / dims[0] as f64,
-            e.y / dims[1] as f64,
-            e.z / dims[2] as f64,
-        ];
-        let nt = NtAssignment::for_cutoff(grid, sys.params.cutoff + self.import_margin, box_edges);
-
-        // Home assignment with constraint groups co-located (§3.2.4).
-        let fracs: Vec<[f64; 3]> = state.positions.iter().map(|p| p.to_unit_frac()).collect();
-        let groups: Vec<Vec<u32>> = sys
-            .topology
-            .constraint_groups
-            .iter()
-            .map(|g| g.atoms())
-            .collect();
-        let homes = assign_homes(&grid, &fracs, &groups);
-
-        let mut atoms_in: Vec<Vec<u32>> = vec![Vec::new(); grid.node_count()];
-        for (i, b) in homes.iter().enumerate() {
-            atoms_in[grid.index(*b)].push(i as u32);
-        }
-
-        for node_idx in 0..grid.node_count() {
-            let node = grid.coord(node_idx);
-            let tower = nt.tower_boxes(node);
-            let plate = nt.plate_boxes(node);
-            for tb in &tower {
-                for pb in &plate {
-                    let same_box = tb == pb;
-                    for &i in &atoms_in[grid.index(*tb)] {
-                        for &j in &atoms_in[grid.index(*pb)] {
-                            if i == j || (same_box && i > j) {
-                                continue;
-                            }
-                            if nt.node_for_pair(homes[i as usize], homes[j as usize]) != node {
-                                continue;
-                            }
-                            self.apply_pair(sys, state, i as usize, j as usize, out);
+        let rank = &rs.ranks[r];
+        for tb in &rank.tower {
+            for pb in &rank.plate {
+                let same_box = tb == pb;
+                for &i in rs.atoms_in_box(rs.grid.index(*tb)) {
+                    for &j in rs.atoms_in_box(rs.grid.index(*pb)) {
+                        if i == j || (same_box && i > j) {
+                            continue;
                         }
+                        if rs
+                            .nt
+                            .node_for_pair(rs.home(i as usize), rs.home(j as usize))
+                            != rank.node
+                        {
+                            continue;
+                        }
+                        self.apply_pair(sys, state, i as usize, j as usize, out);
                     }
                 }
             }
         }
-        let _: IVec3 = grid.dims; // (document the grid orientation is torus-shaped)
     }
 
-    /// Bonded terms: evaluated on the flexible subsystem in the paper; here
-    /// each term's forces are computed from decoded positions and quantized
-    /// per atom before accumulation (term order immaterial).
-    pub fn bonded(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
-        let pos = state.decode_positions(&sys.pbox);
-        let top = &sys.topology;
+    /// This rank's statically assigned bonded terms (work lists fixed at
+    /// construction, §3.2.3), from the shared decoded-position buffer.
+    fn rank_bonded(&self, sys: &System, rs: &RankSet, r: usize, out: &mut RawForces) {
+        let rank = &rs.ranks[r];
+        let pos = &self.pos_buf;
+        for &t in &rank.bonds {
+            self.bond_term_into(sys, pos, t as usize, out);
+        }
+        for &t in &rank.angles {
+            self.angle_term_into(sys, pos, t as usize, out);
+        }
+        for &t in &rank.dihedrals {
+            self.dihedral_term_into(sys, pos, t as usize, out);
+        }
+    }
+
+    /// This rank's statically assigned correction pairs.
+    fn rank_corrections(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        rs: &RankSet,
+        r: usize,
+        out: &mut RawForces,
+    ) {
+        let rank = &rs.ranks[r];
+        let excl = sys.topology.exclusions.excluded_pairs();
+        for &k in &rank.excl {
+            let (i, j) = excl[k as usize];
+            self.correction_pair_into(sys, state, i, j, 1.0, out);
+        }
+        let p14 = sys.topology.exclusions.pairs_14();
+        for &k in &rank.pair14 {
+            let (i, j) = p14[k as usize];
+            self.correction_pair_into(sys, state, i, j, 1.0 - self.policy.elec_14, out);
+        }
+    }
+
+    /// Quantize an f64 force onto the Q24 grid and accumulate.
+    #[inline]
+    fn add_force(out: &mut RawForces, idx: u32, f: Vec3) {
         let fs = (1i64 << FORCE_FRAC) as f64;
-        let es = (1u64 << ENERGY_FRAC) as f64;
-        let add = |out: &mut RawForces, idx: u32, f: Vec3| {
-            let a = &mut out.f[idx as usize];
-            a[0] = a[0].wrapping_add(rne_f64(f.x * fs) as i64);
-            a[1] = a[1].wrapping_add(rne_f64(f.y * fs) as i64);
-            a[2] = a[2].wrapping_add(rne_f64(f.z * fs) as i64);
-        };
-        for b in &top.bonds {
-            let (u, fi, fj) = bonded::bond_term(&sys.pbox, &pos, b);
-            add(out, b.i, fi);
-            add(out, b.j, fj);
-            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
-        }
-        for a in &top.angles {
-            let (u, fi, fj, fk) = bonded::angle_term(&sys.pbox, &pos, a);
-            add(out, a.i, fi);
-            add(out, a.j, fj);
-            add(out, a.k_atom, fk);
-            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
-        }
-        for d in &top.dihedrals {
-            let (u, fi, fj, fk, fl) = bonded::dihedral_term(&sys.pbox, &pos, d);
-            add(out, d.i, fi);
-            add(out, d.j, fj);
-            add(out, d.k_atom, fk);
-            add(out, d.l, fl);
-            out.e_bonded = out.e_bonded.wrapping_add(rne_f64(u * es) as i64);
-        }
+        let a = &mut out.f[idx as usize];
+        a[0] = a[0].wrapping_add(rne_f64(f.x * fs) as i64);
+        a[1] = a[1].wrapping_add(rne_f64(f.y * fs) as i64);
+        a[2] = a[2].wrapping_add(rne_f64(f.z * fs) as i64);
     }
 
-    /// Correction forces (excluded and 1-4 pairs): the correction pipeline
-    /// of the flexible subsystem (§3.1).
-    pub fn corrections(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+    #[inline]
+    fn bond_term_into(&self, sys: &System, pos: &[Vec3], t: usize, out: &mut RawForces) {
+        let b = &sys.topology.bonds[t];
+        let (u, fi, fj) = bonded::bond_term(&sys.pbox, pos, b);
+        Self::add_force(out, b.i, fi);
+        Self::add_force(out, b.j, fj);
+        out.e_bonded = out
+            .e_bonded
+            .wrapping_add(rne_f64(u * (1u64 << ENERGY_FRAC) as f64) as i64);
+    }
+
+    #[inline]
+    fn angle_term_into(&self, sys: &System, pos: &[Vec3], t: usize, out: &mut RawForces) {
+        let a = &sys.topology.angles[t];
+        let (u, fi, fj, fk) = bonded::angle_term(&sys.pbox, pos, a);
+        Self::add_force(out, a.i, fi);
+        Self::add_force(out, a.j, fj);
+        Self::add_force(out, a.k_atom, fk);
+        out.e_bonded = out
+            .e_bonded
+            .wrapping_add(rne_f64(u * (1u64 << ENERGY_FRAC) as f64) as i64);
+    }
+
+    #[inline]
+    fn dihedral_term_into(&self, sys: &System, pos: &[Vec3], t: usize, out: &mut RawForces) {
+        let d = &sys.topology.dihedrals[t];
+        let (u, fi, fj, fk, fl) = bonded::dihedral_term(&sys.pbox, pos, d);
+        Self::add_force(out, d.i, fi);
+        Self::add_force(out, d.j, fj);
+        Self::add_force(out, d.k_atom, fk);
+        Self::add_force(out, d.l, fl);
+        out.e_bonded = out
+            .e_bonded
+            .wrapping_add(rne_f64(u * (1u64 << ENERGY_FRAC) as f64) as i64);
+    }
+
+    /// One correction pair (excluded or 1-4): the correction pipeline of
+    /// the flexible subsystem (§3.1).
+    #[inline]
+    fn correction_pair_into(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        i: u32,
+        j: u32,
+        scale: f64,
+        out: &mut RawForces,
+    ) {
         let top = &sys.topology;
+        let qq = top.charge[i as usize] * top.charge[j as usize] * scale;
+        if qq == 0.0 {
+            return;
+        }
         let ds = 1.0 / (1i64 << 20) as f64;
         let fs = (1i64 << FORCE_FRAC) as f64;
-        let es = (1u64 << ENERGY_FRAC) as f64;
-        let run = |out: &mut RawForces, pairs: &[(u32, u32)], scale: f64| {
-            for &(i, j) in pairs {
-                let qq = top.charge[i as usize] * top.charge[j as usize] * scale;
-                if qq == 0.0 {
-                    continue;
-                }
-                let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
-                let r2 = (d[0] as f64 * ds).powi(2)
-                    + (d[1] as f64 * ds).powi(2)
-                    + (d[2] as f64 * ds).powi(2);
-                let (e, f_over_r) = self.corr_kernel.exclusion_correction(qq, r2);
-                let a = &mut out.f[i as usize];
-                let fi = [
-                    rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
-                    rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
-                    rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
-                ];
-                a[0] = a[0].wrapping_add(fi[0]);
-                a[1] = a[1].wrapping_add(fi[1]);
-                a[2] = a[2].wrapping_add(fi[2]);
-                let b = &mut out.f[j as usize];
-                b[0] = b[0].wrapping_sub(fi[0]);
-                b[1] = b[1].wrapping_sub(fi[1]);
-                b[2] = b[2].wrapping_sub(fi[2]);
-                out.e_correction = out.e_correction.wrapping_add(rne_f64(e * es) as i64);
-            }
-        };
-        run(out, top.exclusions.excluded_pairs(), 1.0);
-        run(out, top.exclusions.pairs_14(), 1.0 - self.policy.elec_14);
+        let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
+        let r2 =
+            (d[0] as f64 * ds).powi(2) + (d[1] as f64 * ds).powi(2) + (d[2] as f64 * ds).powi(2);
+        let (e, f_over_r) = self.corr_kernel.exclusion_correction(qq, r2);
+        let fi = [
+            rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
+            rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
+            rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
+        ];
+        let a = &mut out.f[i as usize];
+        a[0] = a[0].wrapping_add(fi[0]);
+        a[1] = a[1].wrapping_add(fi[1]);
+        a[2] = a[2].wrapping_add(fi[2]);
+        let b = &mut out.f[j as usize];
+        b[0] = b[0].wrapping_sub(fi[0]);
+        b[1] = b[1].wrapping_sub(fi[1]);
+        b[2] = b[2].wrapping_sub(fi[2]);
+        out.e_correction = out
+            .e_correction
+            .wrapping_add(rne_f64(e * (1u64 << ENERGY_FRAC) as f64) as i64);
+    }
+
+    /// Bonded terms, serially over the whole topology: evaluated on the
+    /// flexible subsystem in the paper; here each term's forces are
+    /// computed from decoded positions and quantized per atom before
+    /// accumulation (term order immaterial).
+    pub fn bonded(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let pos = state.decode_positions(&sys.pbox);
+        for t in 0..sys.topology.bonds.len() {
+            self.bond_term_into(sys, &pos, t, out);
+        }
+        for t in 0..sys.topology.angles.len() {
+            self.angle_term_into(sys, &pos, t, out);
+        }
+        for t in 0..sys.topology.dihedrals.len() {
+            self.dihedral_term_into(sys, &pos, t, out);
+        }
+    }
+
+    /// Correction forces (excluded and 1-4 pairs), serially.
+    pub fn corrections(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let top = &sys.topology;
+        for &(i, j) in top.exclusions.excluded_pairs() {
+            self.correction_pair_into(sys, state, i, j, 1.0, out);
+        }
+        for &(i, j) in top.exclusions.pairs_14() {
+            self.correction_pair_into(sys, state, i, j, 1.0 - self.policy.elec_14, out);
+        }
     }
 
     /// Long-range (mesh) forces via the fixed-point GSE pipeline.
@@ -408,27 +615,75 @@ mod tests {
     fn forces_are_bitwise_invariant_across_decompositions() {
         let sys = water_system(140, 3);
         let state = state_of(&sys);
-        let pipe = ForcePipeline::new(&sys);
 
         let mut reference = RawForces::zeroed(sys.n_atoms());
-        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut reference);
+        ForcePipeline::new(&sys, Decomposition::SingleRank, 1).range_limited(
+            &sys,
+            &state,
+            &mut reference,
+        );
 
         for nodes in [1usize, 2, 8, 64] {
+            let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(nodes), 1);
             let mut out = RawForces::zeroed(sys.n_atoms());
-            pipe.range_limited(&sys, &state, Decomposition::Nodes(nodes), &mut out);
+            pipe.range_limited(&sys, &state, &mut out);
             assert_eq!(out, reference, "decomposition over {nodes} nodes diverged");
         }
+    }
+
+    /// Thread-count invariance at force granularity: the full short- and
+    /// long-range classes of a `Nodes(8)` pipeline are bitwise identical on
+    /// 1, 2, and 4 worker threads.
+    #[test]
+    fn forces_are_bitwise_invariant_across_thread_counts() {
+        let sys = water_system(140, 5);
+        let state = state_of(&sys);
+        let eval = |threads: usize| {
+            let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(8), threads);
+            let mut short = RawForces::zeroed(sys.n_atoms());
+            pipe.short_range(&sys, &state, &mut short);
+            let mut long = RawForces::zeroed(sys.n_atoms());
+            pipe.long_range(&sys, &state, &mut long);
+            (short, long)
+        };
+        let reference = eval(1);
+        for threads in [2usize, 4] {
+            assert_eq!(eval(threads), reference, "{threads} threads diverged");
+        }
+    }
+
+    /// The fused per-rank short-range/long-range paths agree bitwise with
+    /// the serial reference composition of the same force classes.
+    #[test]
+    fn rank_execution_matches_serial_composition() {
+        let sys = water_system(120, 11);
+        let state = state_of(&sys);
+
+        let mut serial = RawForces::zeroed(sys.n_atoms());
+        let mut reference = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
+        reference.short_range(&sys, &state, &mut serial);
+        reference.corrections(&sys, &state, &mut serial);
+        reference.reciprocal(&sys, &state, &mut serial);
+
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(8), 2);
+        let mut ranked = RawForces::zeroed(sys.n_atoms());
+        pipe.short_range(&sys, &state, &mut ranked);
+        pipe.long_range(&sys, &state, &mut ranked);
+        assert_eq!(ranked, serial);
+        // The fan-out metered its exchange traffic.
+        assert_eq!(pipe.counters.steps, 1);
+        assert!(pipe.counters.import_bytes > 0);
     }
 
     #[test]
     fn forces_are_deterministic() {
         let sys = water_system(100, 5);
         let state = state_of(&sys);
-        let pipe = ForcePipeline::new(&sys);
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         let mut a = RawForces::zeroed(sys.n_atoms());
         let mut b = RawForces::zeroed(sys.n_atoms());
         for out in [&mut a, &mut b] {
-            pipe.range_limited(&sys, &state, Decomposition::SingleRank, out);
+            pipe.range_limited(&sys, &state, out);
             pipe.bonded(&sys, &state, out);
             pipe.corrections(&sys, &state, out);
             pipe.reciprocal(&sys, &state, out);
@@ -442,9 +697,9 @@ mod tests {
         // raw force sum is exactly zero.
         let sys = water_system(120, 7);
         let state = state_of(&sys);
-        let pipe = ForcePipeline::new(&sys);
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         let mut out = RawForces::zeroed(sys.n_atoms());
-        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+        pipe.range_limited(&sys, &state, &mut out);
         pipe.corrections(&sys, &state, &mut out);
         let mut net = [0i64; 3];
         for f in &out.f {
@@ -462,9 +717,9 @@ mod tests {
     fn numerical_force_error_in_paper_decade() {
         let sys = water_system(150, 9);
         let state = state_of(&sys);
-        let pipe = ForcePipeline::new(&sys);
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         let mut out = RawForces::zeroed(sys.n_atoms());
-        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+        pipe.range_limited(&sys, &state, &mut out);
 
         // f64 evaluation of the same interaction set with the same (exact)
         // kernels and same positions.
@@ -536,9 +791,9 @@ mod virial_tests {
             params: RunParams::paper(7.0, 16),
         };
         let state = FixedState::from_f64(&pbox, &positions, &[Vec3::ZERO; 2]);
-        let pipe = ForcePipeline::new(&sys);
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         let mut out = RawForces::zeroed(2);
-        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut out);
+        pipe.range_limited(&sys, &state, &mut out);
         let f0 = out.force_f64(0);
         // r (from 0 to ... sign convention: d = r_i − r_j with force on i
         // along d) → W = d·F_i counted once.
@@ -566,11 +821,10 @@ mod virial_tests {
             params: RunParams::paper(7.5, 16),
         };
         let state = FixedState::from_f64(&pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()]);
-        let pipe = ForcePipeline::new(&sys);
         let mut a = RawForces::zeroed(sys.n_atoms());
-        pipe.range_limited(&sys, &state, Decomposition::SingleRank, &mut a);
+        ForcePipeline::new(&sys, Decomposition::SingleRank, 1).range_limited(&sys, &state, &mut a);
         let mut b = RawForces::zeroed(sys.n_atoms());
-        pipe.range_limited(&sys, &state, Decomposition::Nodes(8), &mut b);
+        ForcePipeline::new(&sys, Decomposition::Nodes(8), 2).range_limited(&sys, &state, &mut b);
         assert_eq!(a.virial, b.virial);
         assert_ne!(a.virial, anton_fixpoint::Wide::ZERO);
     }

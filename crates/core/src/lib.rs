@@ -15,7 +15,11 @@
 //! * **Parallel invariance** — enumerating the force work per simulated
 //!   node (any power-of-two count) changes only the order of wrapping
 //!   integer additions, which is immaterial; trajectories are bitwise
-//!   identical on 1, 2, 8, 64, … nodes.
+//!   identical on 1, 2, 8, 64, … nodes. The rank fan-out ([`ranks`],
+//!   [`pool`]) extends the same guarantee to host worker threads: each rank
+//!   fills a private accumulator and the buffers merge in fixed rank order,
+//!   so 1, 2, or 4 threads (`ANTON_THREADS` or
+//!   [`SimulationBuilder::threads`]) produce identical bits.
 //! * **Exact reversibility** — without constraints or temperature control,
 //!   negating all velocities and re-running recovers the initial state
 //!   bit-for-bit (fixed-point velocity Verlet with round-to-nearest/even,
@@ -38,10 +42,14 @@
 
 pub mod engine;
 pub mod forces;
+pub mod pool;
+pub mod ranks;
 pub mod state;
 pub mod stats;
 
 pub use engine::{AntonSimulation, SimulationBuilder, ThermostatKind};
 pub use forces::{Decomposition, ForcePipeline, RawForces};
+pub use pool::{threads_from_env, DetPool};
+pub use ranks::{Rank, RankSet};
 pub use state::FixedState;
 pub use stats::system_stats;

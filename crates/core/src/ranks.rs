@@ -1,0 +1,271 @@
+//! The simulated node as a first-class rank.
+//!
+//! A [`Rank`] is one node of the simulated machine: it owns the static
+//! description of its force work — the tower/plate box lists of the NT
+//! assignment (§3.2.1), its statically assigned bonded terms (§3.2.3), and
+//! its share of the correction pairs — and, at execution time, a private
+//! accumulator the pipeline merges in fixed rank order. A [`RankSet`]
+//! bundles the ranks with the node grid, the NT assignment, the static
+//! torus [`ExchangePlan`] they communicate over, and the per-step buffers
+//! (unit fractions, homes, home-box index) that re-homing reuses without
+//! allocating.
+//!
+//! Everything static is fixed at construction from the *initial*
+//! configuration; atoms drifting across box boundaries later changes which
+//! rank enumerates which pair but never the quantized contributions being
+//! accumulated, so any static split is bitwise equivalent (paper §4).
+
+use crate::state::FixedState;
+use anton_geometry::{Buckets, IVec3};
+use anton_machine::config::near_cubic_torus;
+use anton_machine::exchange::ExchangePlan;
+use anton_machine::perf::ExchangeCounters;
+use anton_nt::assign::{NodeGrid, NtAssignment};
+use anton_nt::bonds::{assign_terms, terms_per_node};
+use anton_nt::migration::{assign_homes, assign_homes_into};
+use anton_systems::System;
+
+/// Relative geometry-core cost of one term of each bonded kind, used to
+/// balance the static assignment (a dihedral is ~4 bond-equivalents).
+const BOND_COST: f64 = 1.0;
+const ANGLE_COST: f64 = 2.0;
+const DIHEDRAL_COST: f64 = 4.0;
+
+/// One simulated node's static work description.
+#[derive(Clone, Debug)]
+pub struct Rank {
+    pub index: usize,
+    pub node: IVec3,
+    /// Tower boxes (home column ± zr), deduplicated under wrapping.
+    pub tower: Vec<IVec3>,
+    /// Plate boxes (home + half-neighborhood in the home layer).
+    pub plate: Vec<IVec3>,
+    /// Indices into `topology.bonds` this rank evaluates.
+    pub bonds: Vec<u32>,
+    /// Indices into `topology.angles`.
+    pub angles: Vec<u32>,
+    /// Indices into `topology.dihedrals`.
+    pub dihedrals: Vec<u32>,
+    /// Indices into `exclusions.excluded_pairs()`.
+    pub excl: Vec<u32>,
+    /// Indices into `exclusions.pairs_14()`.
+    pub pair14: Vec<u32>,
+}
+
+/// The full simulated machine: ranks, their decomposition geometry, their
+/// exchange schedule, and the reusable per-step re-homing buffers.
+pub struct RankSet {
+    pub grid: NodeGrid,
+    pub nt: NtAssignment,
+    pub plan: ExchangePlan,
+    pub ranks: Vec<Rank>,
+    groups: Vec<Vec<u32>>,
+    fracs: Vec<[f64; 3]>,
+    homes: Vec<IVec3>,
+    buckets: Buckets,
+    atoms_per_box: Vec<u32>,
+}
+
+impl RankSet {
+    /// Build the rank architecture for `nodes` simulated nodes. `reach` is
+    /// the cutoff plus the import margin covering deferred migration and
+    /// constraint-group co-location (§3.2.4).
+    pub fn build(sys: &System, nodes: usize, reach: f64) -> RankSet {
+        let dims = near_cubic_torus(nodes);
+        let grid = NodeGrid::new(dims[0] as i32, dims[1] as i32, dims[2] as i32);
+        let e = sys.pbox.edge();
+        let box_edges = [
+            e.x / dims[0] as f64,
+            e.y / dims[1] as f64,
+            e.z / dims[2] as f64,
+        ];
+        let nt = NtAssignment::for_cutoff(grid, reach, box_edges);
+        let plan = ExchangePlan::build(&nt);
+        let groups: Vec<Vec<u32>> = sys
+            .topology
+            .constraint_groups
+            .iter()
+            .map(|g| g.atoms())
+            .collect();
+
+        // Static work lists from the initial configuration: each bonded
+        // term / correction pair is pinned to the initial home node of its
+        // first atom, then the bonded terms are load-balanced across that
+        // node's geometry cores (LPT, §3.2.3).
+        let init_fracs: Vec<[f64; 3]> = sys
+            .positions
+            .iter()
+            .map(|&p| {
+                let w = sys.pbox.wrap(p);
+                [w.x / e.x, w.y / e.y, w.z / e.z]
+            })
+            .collect();
+        let homes0 = assign_homes(&grid, &init_fracs, &groups);
+        let node_of = |atom: u32| grid.index(homes0[atom as usize]) as u32;
+
+        let top = &sys.topology;
+        let (nb, na) = (top.bonds.len(), top.angles.len());
+        let mut term_node = Vec::with_capacity(nb + na + top.dihedrals.len());
+        let mut term_cost = Vec::with_capacity(term_node.capacity());
+        for b in &top.bonds {
+            term_node.push(node_of(b.i));
+            term_cost.push(BOND_COST);
+        }
+        for a in &top.angles {
+            term_node.push(node_of(a.i));
+            term_cost.push(ANGLE_COST);
+        }
+        for d in &top.dihedrals {
+            term_node.push(node_of(d.i));
+            term_cost.push(DIHEDRAL_COST);
+        }
+        let gc = assign_terms(grid.node_count(), 8, &term_node, &term_cost);
+        let per_node = terms_per_node(grid.node_count(), &gc);
+
+        let mut ranks: Vec<Rank> = (0..grid.node_count())
+            .map(|r| {
+                let node = grid.coord(r);
+                let mut rank = Rank {
+                    index: r,
+                    node,
+                    tower: nt.tower_boxes(node),
+                    plate: nt.plate_boxes(node),
+                    bonds: Vec::new(),
+                    angles: Vec::new(),
+                    dihedrals: Vec::new(),
+                    excl: Vec::new(),
+                    pair14: Vec::new(),
+                };
+                for &t in &per_node[r] {
+                    let t = t as usize;
+                    if t < nb {
+                        rank.bonds.push(t as u32);
+                    } else if t < nb + na {
+                        rank.angles.push((t - nb) as u32);
+                    } else {
+                        rank.dihedrals.push((t - nb - na) as u32);
+                    }
+                }
+                rank
+            })
+            .collect();
+        for (k, &(i, _j)) in top.exclusions.excluded_pairs().iter().enumerate() {
+            ranks[node_of(i) as usize].excl.push(k as u32);
+        }
+        for (k, &(i, _j)) in top.exclusions.pairs_14().iter().enumerate() {
+            ranks[node_of(i) as usize].pair14.push(k as u32);
+        }
+
+        RankSet {
+            grid,
+            nt,
+            plan,
+            ranks,
+            groups,
+            fracs: Vec::new(),
+            homes: Vec::new(),
+            buckets: Buckets::default(),
+            atoms_per_box: Vec::new(),
+        }
+    }
+
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Re-home every atom for the current state (constraint groups on
+    /// their leader, §3.2.4), rebuild the home-box index, and meter one
+    /// step of the exchange plan into `c`. Allocation-free in steady state.
+    pub fn prepare(&mut self, state: &FixedState, c: &mut ExchangeCounters) {
+        state.unit_fracs_into(&mut self.fracs);
+        assign_homes_into(&self.grid, &self.fracs, &self.groups, &mut self.homes);
+        let RankSet {
+            grid,
+            homes,
+            buckets,
+            ..
+        } = self;
+        buckets.rebuild(grid.node_count(), homes.len(), |i| grid.index(homes[i]));
+        self.atoms_per_box.clear();
+        self.atoms_per_box
+            .extend((0..self.grid.node_count()).map(|b| self.buckets.count(b) as u32));
+        self.plan.record_step(&self.atoms_per_box, c);
+    }
+
+    /// Current home box of an atom (valid after [`Self::prepare`]).
+    #[inline]
+    pub fn home(&self, atom: usize) -> IVec3 {
+        self.homes[atom]
+    }
+
+    /// Atoms currently homed in one box (valid after [`Self::prepare`]).
+    #[inline]
+    pub fn atoms_in_box(&self, box_index: usize) -> &[u32] {
+        self.buckets.members(box_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_forcefield::water::TIP3P;
+    use anton_geometry::{PeriodicBox, Vec3};
+    use anton_systems::spec::RunParams;
+    use anton_systems::waterbox::pure_water_topology;
+
+    fn water_system(n: usize, seed: u64) -> System {
+        let pbox = PeriodicBox::cubic(18.0);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, n, seed);
+        System {
+            name: "w".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.5, 16),
+        }
+    }
+
+    /// Every bonded term and correction pair is owned by exactly one rank.
+    #[test]
+    fn static_work_lists_partition_the_topology() {
+        let sys = water_system(120, 3);
+        let rs = RankSet::build(&sys, 8, sys.params.cutoff + 8.0);
+        assert_eq!(rs.rank_count(), 8);
+        let total_bonds: usize = rs.ranks.iter().map(|r| r.bonds.len()).sum();
+        let total_excl: usize = rs.ranks.iter().map(|r| r.excl.len()).sum();
+        assert_eq!(total_bonds, sys.topology.bonds.len());
+        assert_eq!(total_excl, sys.topology.exclusions.excluded_pairs().len());
+        let mut seen = vec![false; sys.topology.bonds.len()];
+        for r in &rs.ranks {
+            for &t in &r.bonds {
+                assert!(!seen[t as usize], "bond {t} owned twice");
+                seen[t as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    /// After prepare, the home-box index covers every atom exactly once and
+    /// constraint groups are co-located.
+    #[test]
+    fn prepare_rebuilds_a_consistent_home_index() {
+        let sys = water_system(100, 5);
+        let state =
+            FixedState::from_f64(&sys.pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()]);
+        let mut rs = RankSet::build(&sys, 8, sys.params.cutoff + 8.0);
+        let mut c = ExchangeCounters::default();
+        rs.prepare(&state, &mut c);
+        let covered: usize = (0..rs.grid.node_count())
+            .map(|b| rs.atoms_in_box(b).len())
+            .sum();
+        assert_eq!(covered, sys.n_atoms());
+        for g in &sys.topology.constraint_groups {
+            let atoms = g.atoms();
+            for &a in &atoms {
+                assert_eq!(rs.home(a as usize), rs.home(atoms[0] as usize));
+            }
+        }
+        assert_eq!(c.steps, 1);
+        assert!(c.import_bytes > 0, "8 ranks must exchange positions");
+    }
+}

@@ -66,9 +66,24 @@ impl FixedState {
     /// All positions decoded to Cartesian f64 (for neighbor search and
     /// kernel interiors; every decode is exact and order-independent).
     pub fn decode_positions(&self, pbox: &PeriodicBox) -> Vec<Vec3> {
-        (0..self.n_atoms())
-            .map(|i| self.decode_position(pbox, i))
-            .collect()
+        let mut out = Vec::new();
+        self.decode_positions_into(pbox, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`Self::decode_positions`] for per-step
+    /// callers: `out` is cleared and refilled.
+    pub fn decode_positions_into(&self, pbox: &PeriodicBox, out: &mut Vec<Vec3>) {
+        out.clear();
+        out.extend((0..self.n_atoms()).map(|i| self.decode_position(pbox, i)));
+    }
+
+    /// All positions as unit box fractions in `[0,1)³`, into a reused
+    /// buffer (home-box assignment runs on these every force evaluation).
+    // detlint::boundary(reason = "exact Fx32 -> f64 unit-fraction decode for home-box assignment; read-only")
+    pub fn unit_fracs_into(&self, out: &mut Vec<[f64; 3]>) {
+        out.clear();
+        out.extend(self.positions.iter().map(|p| p.to_unit_frac()));
     }
 
     /// Velocity of atom `i` in Å/fs.

@@ -54,6 +54,14 @@ pub const D5_PAR_IDENTS: &[&str] = &[
     "par_bridge",
 ];
 
+/// `std::thread` fan-out / channel-drain entry points scanned by D5: the
+/// same order-sensitivity arises when hand-rolled threads feed a reduction
+/// (channel drain order = thread finish order). The sanctioned pattern is
+/// per-thread private buffers merged serially in fixed rank order
+/// (DESIGN.md §8); reducers *inside* a spawned closure never fire because
+/// the closure body sits at nested delimiter depth.
+pub const D5_THREAD_IDENTS: &[&str] = &["spawn", "scope", "try_iter", "recv", "recv_timeout"];
+
 /// Reduction combinators that are order-sensitive over floats.
 pub const D5_REDUCERS: &[&str] = &["sum", "reduce", "fold", "product"];
 

@@ -503,15 +503,23 @@ fn rule_d4(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
     }
 }
 
-/// D5: no order-sensitive reductions downstream of a rayon parallel iterator.
+/// D5: no order-sensitive reductions downstream of a parallel fan-out —
+/// rayon parallel iterators, or `std::thread` spawn/scope/channel drains.
 fn rule_d5(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
     for i in 0..code.len() {
         let t = code[i];
-        if t.kind != TokKind::Ident || !policy::D5_PAR_IDENTS.contains(&t.text.as_str()) {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let rayon = policy::D5_PAR_IDENTS.contains(&t.text.as_str());
+        let threaded = policy::D5_THREAD_IDENTS.contains(&t.text.as_str());
+        if !rayon && !threaded {
             continue;
         }
         // Scan the rest of the statement (to `;` at relative depth 0) for an
-        // order-sensitive combinator.
+        // order-sensitive combinator. Reducers inside nested closures sit at
+        // depth ≥ 1 and do not fire: a spawned closure may reduce its *own*
+        // private buffer freely.
         let mut depth = 0i32;
         for u in code.iter().skip(i + 1) {
             if u.kind == TokKind::Punct {
@@ -531,18 +539,23 @@ fn rule_d5(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
                 && depth == 0
                 && policy::D5_REDUCERS.contains(&u.text.as_str())
             {
-                push(
-                    raw,
-                    "D5",
-                    file,
-                    t,
+                let message = if rayon {
                     format!(
                         "parallel `{}` feeds `{}`: reduction order depends on \
                          work stealing, which is non-associative over floats; \
                          reduce in fixed point or impose a deterministic split",
                         t.text, u.text
-                    ),
-                );
+                    )
+                } else {
+                    format!(
+                        "cross-thread `{}` feeds `{}`: accumulation order \
+                         depends on thread scheduling; fill a private per-rank \
+                         buffer on each thread and merge serially in fixed \
+                         rank order (DESIGN.md §8)",
+                        t.text, u.text
+                    )
+                };
+                push(raw, "D5", file, t, message);
                 break;
             }
         }

@@ -72,6 +72,21 @@ fn d5_flags_parallel_float_reductions() {
 }
 
 #[test]
+fn d5_flags_cross_thread_channel_reductions() {
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d5_thread.rs");
+    assert_eq!(hits, [("D5".into(), 6)]);
+}
+
+#[test]
+fn d5_accepts_rank_indexed_merge_after_scoped_fanout() {
+    // The sanctioned pattern: scoped threads fill disjoint buffers, the
+    // caller merges serially — reducers inside the spawned closures are
+    // private and must not fire.
+    let hits = rules_hit("crates/core/src/good.rs", "pass_d5_ranks.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
 fn meta_flags_malformed_directives() {
     let hits = rules_hit("crates/core/src/bad.rs", "fail_meta_directives.rs");
     let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();

@@ -5,6 +5,63 @@
 
 use crate::{IVec3, PeriodicBox, Vec3};
 
+/// Reusable counting-sort bucketing of items by a small integer key (a cell
+/// index, a node-box index, …). Deterministic: items keep their input order
+/// within a bucket, and rebuilding with the same keys reproduces the same
+/// layout bit for bit. Buffers are retained across [`Buckets::rebuild`]
+/// calls so per-step re-bucketing allocates nothing in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct Buckets {
+    /// Item indices sorted by bucket, addressed through `starts`.
+    order: Vec<u32>,
+    /// `starts[b]..starts[b + 1]` spans bucket `b` inside `order`.
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl Buckets {
+    /// Re-bucket `n_items` items into `n_buckets` buckets; `key(i)` must
+    /// return a bucket index `< n_buckets` for every `i < n_items`.
+    pub fn rebuild(&mut self, n_buckets: usize, n_items: usize, key: impl Fn(usize) -> usize) {
+        self.starts.clear();
+        self.starts.resize(n_buckets + 1, 0);
+        for i in 0..n_items {
+            self.starts[key(i) + 1] += 1;
+        }
+        for b in 1..self.starts.len() {
+            self.starts[b] += self.starts[b - 1];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts);
+        self.order.clear();
+        self.order.resize(n_items, 0);
+        for i in 0..n_items {
+            let b = key(i);
+            self.order[self.cursor[b] as usize] = i as u32;
+            self.cursor[b] += 1;
+        }
+    }
+
+    /// Number of buckets in the current layout.
+    pub fn bucket_count(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Items in one bucket, in input order.
+    #[inline]
+    pub fn members(&self, bucket: usize) -> &[u32] {
+        let s = self.starts[bucket] as usize;
+        let e = self.starts[bucket + 1] as usize;
+        &self.order[s..e]
+    }
+
+    /// Item count of one bucket.
+    #[inline]
+    pub fn count(&self, bucket: usize) -> usize {
+        (self.starts[bucket + 1] - self.starts[bucket]) as usize
+    }
+}
+
 /// A uniform cell decomposition of a periodic box with cell edges ≥ some
 /// interaction cutoff, so that all neighbors of a particle lie in the 27
 /// surrounding cells.
@@ -13,9 +70,7 @@ pub struct CellGrid {
     pub pbox: PeriodicBox,
     dims: IVec3,
     cell_of: Vec<u32>,
-    /// Particle indices sorted by cell, addressed through `starts`.
-    order: Vec<u32>,
-    starts: Vec<u32>,
+    buckets: Buckets,
 }
 
 impl CellGrid {
@@ -32,7 +87,6 @@ impl CellGrid {
         let ncells = (dims.x * dims.y * dims.z) as usize;
 
         let mut cell_of = Vec::with_capacity(positions.len());
-        let mut counts = vec![0u32; ncells + 1];
         for &p in positions {
             let f = pbox.to_frac(p);
             let c = IVec3::new(
@@ -40,26 +94,15 @@ impl CellGrid {
                 ((f.y * dims.y as f64) as i32).clamp(0, dims.y - 1),
                 ((f.z * dims.z as f64) as i32).clamp(0, dims.z - 1),
             );
-            let idx = Self::cell_index(dims, c);
-            cell_of.push(idx);
-            counts[idx as usize + 1] += 1;
+            cell_of.push(Self::cell_index(dims, c));
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut order = vec![0u32; positions.len()];
-        for (i, &c) in cell_of.iter().enumerate() {
-            order[cursor[c as usize] as usize] = i as u32;
-            cursor[c as usize] += 1;
-        }
+        let mut buckets = Buckets::default();
+        buckets.rebuild(ncells, positions.len(), |i| cell_of[i] as usize);
         CellGrid {
             pbox: *pbox,
             dims,
             cell_of,
-            order,
-            starts,
+            buckets,
         }
     }
 
@@ -80,9 +123,7 @@ impl CellGrid {
 
     /// Particles in one cell.
     pub fn cell_members(&self, cell: u32) -> &[u32] {
-        let s = self.starts[cell as usize] as usize;
-        let e = self.starts[cell as usize + 1] as usize;
-        &self.order[s..e]
+        self.buckets.members(cell as usize)
     }
 
     /// The cell a particle was binned into.
@@ -186,6 +227,23 @@ mod tests {
         }
         out.sort_unstable();
         out
+    }
+
+    #[test]
+    fn buckets_preserve_input_order_and_cover_all_items() {
+        let keys = [2usize, 0, 2, 1, 0, 2, 3];
+        let mut b = Buckets::default();
+        b.rebuild(4, keys.len(), |i| keys[i]);
+        assert_eq!(b.bucket_count(), 4);
+        assert_eq!(b.members(0), &[1, 4]);
+        assert_eq!(b.members(1), &[3]);
+        assert_eq!(b.members(2), &[0, 2, 5]);
+        assert_eq!(b.members(3), &[6]);
+        assert_eq!((0..4).map(|c| b.count(c)).sum::<usize>(), keys.len());
+        // Rebuilding with fewer buckets reuses the buffers and stays exact.
+        b.rebuild(2, 4, |i| i % 2);
+        assert_eq!(b.members(0), &[0, 2]);
+        assert_eq!(b.members(1), &[1, 3]);
     }
 
     #[test]

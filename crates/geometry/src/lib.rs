@@ -19,7 +19,7 @@ pub mod pbc;
 pub mod vec3;
 pub mod voxel;
 
-pub use cells::CellGrid;
+pub use cells::{Buckets, CellGrid};
 pub use mat3::Mat3;
 pub use pbc::PeriodicBox;
 pub use vec3::{IVec3, Vec3};

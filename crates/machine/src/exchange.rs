@@ -1,0 +1,219 @@
+//! Static torus exchange plan for the simulated rank architecture.
+//!
+//! The NT method fixes, at decomposition time, which boxes every node
+//! imports (its tower and plate, §3.2.1) — so the communication pattern of
+//! a time step is a *static plan*: the same directed links carry position
+//! imports forward and force reductions backward on every step. This module
+//! builds that plan from an [`NtAssignment`] and the torus geometry, and
+//! meters it into [`ExchangeCounters`](crate::perf::ExchangeCounters) so
+//! bench binaries can report modeled communication volume alongside
+//! measured step time.
+
+use crate::perf::ExchangeCounters;
+use crate::topology::Torus;
+use anton_geometry::IVec3;
+use anton_nt::assign::{NodeGrid, NtAssignment};
+use serde::{Deserialize, Serialize};
+
+/// Wire bytes per imported atom position (3 × 32-bit fixed-point words).
+pub const POS_BYTES: u64 = 12;
+/// Wire bytes per reduced atom force (3 × 64-bit raw accumulator words).
+pub const FORCE_BYTES: u64 = 24;
+
+/// One directed import link: rank `dst` needs the atoms of the box owned by
+/// rank `src`, a dimension-order-routed `hops` away on the torus. The force
+/// reduction traverses the same link in reverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    pub src: u32,
+    pub dst: u32,
+    pub hops: u32,
+}
+
+/// The static per-step exchange schedule of a node grid under the NT
+/// assignment: for every rank, the links over which it imports remote boxes
+/// (tower ∪ plate, home box excluded).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExchangePlan {
+    grid: NodeGrid,
+    /// `imports[rank]` — links with `dst == rank`, in deterministic
+    /// (tower-then-plate enumeration) order.
+    imports: Vec<Vec<Link>>,
+}
+
+impl ExchangePlan {
+    /// Build the plan for an NT assignment. The torus dimensions are the
+    /// node-grid dimensions (one home box per node).
+    pub fn build(nt: &NtAssignment) -> ExchangePlan {
+        let grid = nt.grid;
+        let torus = Torus::new([
+            grid.dims.x as usize,
+            grid.dims.y as usize,
+            grid.dims.z as usize,
+        ]);
+        let mut imports = Vec::with_capacity(grid.node_count());
+        for rank in 0..grid.node_count() {
+            let node = grid.coord(rank);
+            let home = node.rem_euclid(grid.dims);
+            let mut links: Vec<Link> = Vec::new();
+            let mut push = |b: IVec3| {
+                if b == home {
+                    return;
+                }
+                let src = grid.index(b) as u32;
+                if links.iter().any(|l| l.src == src) {
+                    return;
+                }
+                links.push(Link {
+                    src,
+                    dst: rank as u32,
+                    hops: torus.hops(home, b),
+                });
+            };
+            for b in nt.tower_boxes(node) {
+                push(b);
+            }
+            for b in nt.plate_boxes(node) {
+                push(b);
+            }
+            imports.push(links);
+        }
+        ExchangePlan { grid, imports }
+    }
+
+    pub fn grid(&self) -> NodeGrid {
+        self.grid
+    }
+
+    pub fn rank_count(&self) -> usize {
+        self.imports.len()
+    }
+
+    /// Import links terminating at `rank`.
+    pub fn imports(&self, rank: usize) -> &[Link] {
+        &self.imports[rank]
+    }
+
+    /// Total directed import links across the machine (the reduction adds
+    /// the same number again, reversed).
+    pub fn total_links(&self) -> usize {
+        self.imports.iter().map(Vec::len).sum()
+    }
+
+    /// Links into the busiest rank — the import-phase critical path.
+    pub fn max_links_per_rank(&self) -> usize {
+        self.imports.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean torus hop count over all import links.
+    pub fn mean_hops(&self) -> f64 {
+        let (n, h) = self
+            .imports
+            .iter()
+            .flatten()
+            .fold((0u64, 0u64), |acc, l| (acc.0 + 1, acc.1 + l.hops as u64));
+        if n == 0 {
+            0.0
+        } else {
+            h as f64 / n as f64
+        }
+    }
+
+    /// Meter one step of the plan into `c`: every import link carries its
+    /// source box's atoms forward as positions, and the reduction returns
+    /// forces for the same atoms over the same links in reverse.
+    /// `atoms_per_box[b]` is the current population of box `b`.
+    pub fn record_step(&self, atoms_per_box: &[u32], c: &mut ExchangeCounters) {
+        assert_eq!(atoms_per_box.len(), self.grid.node_count());
+        c.steps += 1;
+        for links in &self.imports {
+            for l in links {
+                let atoms = atoms_per_box[l.src as usize] as u64;
+                let pos = atoms * POS_BYTES;
+                let force = atoms * FORCE_BYTES;
+                c.import_messages += 1;
+                c.import_atoms += atoms;
+                c.import_bytes += pos;
+                c.import_hop_bytes += pos * l.hops as u64;
+                c.reduce_messages += 1;
+                c.reduce_bytes += force;
+                c.reduce_hop_bytes += force * l.hops as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(g: i32, zr: i32, xyr: i32) -> ExchangePlan {
+        ExchangePlan::build(&NtAssignment::new(NodeGrid::cubic(g), zr, xyr))
+    }
+
+    #[test]
+    fn two_cubed_grid_has_four_import_links_per_rank() {
+        // On a 2×2×2 grid with zr = xyr = 1, ±1 wraps to the same box:
+        // 1 unique tower import + 3 unique plate imports.
+        let p = plan(2, 1, 1);
+        for r in 0..p.rank_count() {
+            assert_eq!(p.imports(r).len(), 4, "rank {r}");
+            for l in p.imports(r) {
+                assert_eq!(l.dst as usize, r);
+                assert_ne!(l.src as usize, r, "home box is never imported");
+                assert!(l.hops >= 1 && l.hops <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn link_counts_match_import_counts() {
+        let nt = NtAssignment::new(NodeGrid::cubic(8), 2, 2);
+        let p = ExchangePlan::build(&nt);
+        for r in 0..p.rank_count() {
+            let (t, pl) = nt.import_counts(p.grid().coord(r));
+            assert_eq!(p.imports(r).len(), t + pl, "rank {r}");
+        }
+        assert_eq!(p.total_links(), 512 * (4 + 12));
+        assert_eq!(p.max_links_per_rank(), 16);
+    }
+
+    #[test]
+    fn hops_are_bounded_by_the_diameter() {
+        let p = plan(4, 2, 2);
+        let torus = Torus::new([4, 4, 4]);
+        for r in 0..p.rank_count() {
+            for l in p.imports(r) {
+                assert!(l.hops >= 1 && l.hops <= torus.diameter());
+            }
+        }
+        assert!(p.mean_hops() >= 1.0);
+    }
+
+    #[test]
+    fn record_step_meters_positions_and_forces() {
+        let p = plan(2, 1, 1);
+        let atoms = vec![10u32; 8];
+        let mut c = ExchangeCounters::default();
+        p.record_step(&atoms, &mut c);
+        p.record_step(&atoms, &mut c);
+        assert_eq!(c.steps, 2);
+        let links = p.total_links() as u64;
+        assert_eq!(c.import_messages, 2 * links);
+        assert_eq!(c.reduce_messages, 2 * links);
+        assert_eq!(c.import_bytes, 2 * links * 10 * POS_BYTES);
+        assert_eq!(c.reduce_bytes, 2 * links * 10 * FORCE_BYTES);
+        // Hop-weighted volume strictly exceeds plain volume: no 0-hop links.
+        assert!(c.import_hop_bytes >= c.import_bytes);
+    }
+
+    #[test]
+    fn single_rank_plan_is_empty() {
+        let p = plan(1, 1, 1);
+        assert_eq!(p.rank_count(), 1);
+        assert_eq!(p.total_links(), 0);
+        let mut c = ExchangeCounters::default();
+        p.record_step(&[42], &mut c);
+        assert_eq!(c.import_bytes, 0);
+    }
+}

@@ -17,6 +17,7 @@
 //!   everything else is prediction.
 
 pub mod config;
+pub mod exchange;
 pub mod flex;
 pub mod htis;
 pub mod perf;
@@ -26,8 +27,9 @@ pub mod tables;
 pub mod topology;
 
 pub use config::MachineConfig;
+pub use exchange::{ExchangePlan, Link};
 pub use htis::{HtisRun, HtisSim};
-pub use perf::{PerfModel, StepBreakdown, SystemStats};
+pub use perf::{ExchangeCounters, PerfModel, StepBreakdown, SystemStats};
 pub use ppip::{MatchUnit, Ppip};
 pub use ring::{Ring, Station};
 pub use tables::{FunctionTable, TableSpec};

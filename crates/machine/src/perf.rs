@@ -67,6 +67,58 @@ impl SystemStats {
     }
 }
 
+/// Accumulated communication volume of a simulated run, metered by
+/// [`ExchangePlan::record_step`](crate::exchange::ExchangePlan::record_step):
+/// position imports forward over the torus, force reductions backward.
+/// Hop-weighted byte counts capture link occupancy under dimension-order
+/// routing (a 3-hop message consumes three links' bandwidth).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ExchangeCounters {
+    pub steps: u64,
+    pub import_messages: u64,
+    pub import_atoms: u64,
+    pub import_bytes: u64,
+    pub import_hop_bytes: u64,
+    pub reduce_messages: u64,
+    pub reduce_bytes: u64,
+    pub reduce_hop_bytes: u64,
+}
+
+impl ExchangeCounters {
+    /// Mean torus hops per byte moved (import + reduction).
+    pub fn mean_hops(&self) -> f64 {
+        let bytes = self.import_bytes + self.reduce_bytes;
+        if bytes == 0 {
+            return 0.0;
+        }
+        (self.import_hop_bytes + self.reduce_hop_bytes) as f64 / bytes as f64
+    }
+
+    /// Bytes injected per rank per step (import + reduction).
+    pub fn per_rank_step_bytes(&self, n_ranks: usize) -> f64 {
+        if self.steps == 0 || n_ranks == 0 {
+            return 0.0;
+        }
+        (self.import_bytes + self.reduce_bytes) as f64 / self.steps as f64 / n_ranks as f64
+    }
+
+    /// Modeled per-step communication time (µs) on `cfg`'s links: per-rank
+    /// serialization through the node's channels, wire latency of the mean
+    /// hop distance, and per-message overhead.
+    pub fn modeled_step_comm_us(&self, cfg: &MachineConfig, n_ranks: usize) -> f64 {
+        if self.steps == 0 || n_ranks == 0 {
+            return 0.0;
+        }
+        let msgs_per_rank_step = (self.import_messages + self.reduce_messages) as f64
+            / self.steps as f64
+            / n_ranks as f64;
+        let wire_s = self.per_rank_step_bytes(n_ranks) / cfg.node_bandwidth_bytes()
+            + self.mean_hops() * cfg.hop_latency_s
+            + msgs_per_rank_step * cfg.message_overhead_s;
+        wire_s * 1e6
+    }
+}
+
 /// Calibration constants (see module docs).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Calibration {

@@ -85,6 +85,20 @@ impl Ring {
     pub fn transfer_time_s(&self, from: Station, to: Station, bytes: f64, clock_hz: f64) -> f64 {
         self.transfer_cycles(from, to, bytes) / clock_hz
     }
+
+    /// Worst-case cycles to funnel `bytes` of imported positions from the
+    /// channel interfaces into the HTIS (the intra-node leg of the §3.2.1
+    /// import): the farthest channel's wire hops plus serialization.
+    pub fn import_fan_in_cycles(&self, bytes: f64) -> f64 {
+        let worst = self
+            .stations
+            .iter()
+            .filter(|s| matches!(s, Station::Channel(_)))
+            .map(|&s| self.hops(s, Station::Htis))
+            .max()
+            .unwrap_or(0);
+        worst as f64 * self.hop_cycles as f64 + bytes / self.bytes_per_cycle
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +136,15 @@ mod tests {
         let t = r.transfer_time_s(Station::Channel(0), Station::Htis, 256.0, 485e6);
         assert!(t < 50e-9, "transfer took {t:e} s");
         assert!(t > 1e-9);
+    }
+
+    #[test]
+    fn import_fan_in_dominated_by_serialization() {
+        let r = Ring::default();
+        // A full import region (~2400 atoms × 12 B) serializes in ~900
+        // cycles; the wire hops are negligible next to that.
+        let cycles = r.import_fan_in_cycles(2400.0 * 12.0);
+        assert!(cycles > 800.0 && cycles < 1000.0, "{cycles}");
+        assert!(r.import_fan_in_cycles(0.0) <= 7.0);
     }
 }

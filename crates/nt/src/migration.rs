@@ -27,16 +27,29 @@ pub fn import_margin(max_speed: f64, dt_fs: f64, every: u32, group_radius: f64) 
 /// its group). Atoms not covered by any group get their own box.
 /// `fracs` are fractional coordinates in `[0,1)³`.
 pub fn assign_homes(grid: &NodeGrid, fracs: &[[f64; 3]], groups: &[Vec<u32>]) -> Vec<IVec3> {
-    let mut home: Vec<IVec3> = fracs.iter().map(|&f| grid.box_of_frac(f)).collect();
+    let mut home = Vec::new();
+    assign_homes_into(grid, fracs, groups, &mut home);
+    home
+}
+
+/// Buffer-reusing form of [`assign_homes`] for per-step callers: `out` is
+/// cleared and refilled, so steady-state re-homing allocates nothing.
+pub fn assign_homes_into(
+    grid: &NodeGrid,
+    fracs: &[[f64; 3]],
+    groups: &[Vec<u32>],
+    out: &mut Vec<IVec3>,
+) {
+    out.clear();
+    out.extend(fracs.iter().map(|&f| grid.box_of_frac(f)));
     for g in groups {
         if let Some((&leader, rest)) = g.split_first() {
-            let b = home[leader as usize];
+            let b = out[leader as usize];
             for &m in rest {
-                home[m as usize] = b;
+                out[m as usize] = b;
             }
         }
     }
-    home
 }
 
 /// Migration bookkeeping: tracks the step of the last migration and decides
