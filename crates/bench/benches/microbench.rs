@@ -107,10 +107,11 @@ fn bench_gse(c: &mut Criterion) {
         })
     });
     let gse_fx = GseFixed::new(Mesh::new([32; 3], pbox), params);
+    let mut scratch = anton_ewald::GseScratch::default();
     c.bench_function("gse/fixed_64atoms_32cubed", |b| {
         b.iter(|| {
             let mut f = vec![[0i64; 3]; 64];
-            black_box(gse_fx.compute_fixed(&positions, &charges, 24, &mut f))
+            black_box(gse_fx.compute_fixed(&positions, &charges, 24, &mut f, &mut scratch))
         })
     });
 }

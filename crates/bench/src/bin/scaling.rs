@@ -1,7 +1,8 @@
-//! Node/thread scaling on the simulated machine: measured step time,
-//! modeled torus communication from the exchange-plan counters, and a
-//! bitwise cross-check that every configuration produces the same
-//! trajectory.
+//! Node/thread scaling on the simulated machine: measured step time, the
+//! long-range (reciprocal) phase broken out, modeled torus communication
+//! from the exchange-plan counters — now including the distributed FFT's
+//! pencil messages and the mesh-halo traffic — and a bitwise cross-check
+//! that every configuration produces the same trajectory.
 //!
 //! `cargo run --release -p anton-bench --bin scaling [--full]`
 //!
@@ -9,10 +10,14 @@
 //! and worker-thread count. "state" is a checksum of the exact final state:
 //! identical in every row, per the parallel-invariance property (paper §4).
 //! The comm columns come from `machine::perf::ExchangeCounters`, metered by
-//! the static `ExchangePlan` over the simulated torus — modeled traffic,
-//! not host traffic.
+//! the static `ExchangePlan`/`MeshExchange` over the simulated torus —
+//! modeled traffic, not host traffic.
+//!
+//! A machine-readable copy of every row lands in
+//! `results/BENCH_scaling.json` so the perf trajectory is tracked across
+//! PRs.
 
-use anton_core::{AntonSimulation, Decomposition};
+use anton_core::{AntonSimulation, Decomposition, RawForces};
 use anton_machine::MachineConfig;
 use anton_systems::spec::RunParams;
 use anton_systems::System;
@@ -45,12 +50,93 @@ fn state_checksum(sim: &AntonSimulation) -> u64 {
     h
 }
 
+/// One measured + modeled configuration.
+struct Row {
+    nodes: usize,
+    threads: usize,
+    ms_per_step: f64,
+    /// Wall time of one full long-range evaluation (reciprocal phase +
+    /// overlapped corrections), isolated from the rest of the step.
+    lr_ms_per_eval: f64,
+    links_per_rank: u64,
+    kb_per_step_rank: f64,
+    mean_hops: f64,
+    modeled_comm_us: f64,
+    fft_msgs_per_rank_lr: f64,
+    fft_kb_per_rank_lr: f64,
+    halo_kb_per_rank_lr: f64,
+    checksum: u64,
+}
+
+/// Time the long-range phase in isolation, leaving the trajectory and the
+/// exchange counters exactly as they were (counters are snapshot/restored
+/// so the timing reps don't perturb the per-step averages).
+fn time_long_range(sim: &mut AntonSimulation, reps: u32) -> f64 {
+    let saved = sim.pipeline.counters;
+    let mut tmp = RawForces::zeroed(sim.system.n_atoms());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        tmp.clear();
+        sim.pipeline.long_range(&sim.system, &sim.state, &mut tmp);
+    }
+    let dt = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    sim.pipeline.counters = saved;
+    dt
+}
+
+fn json_escape_free(v: f64) -> String {
+    // Finite metric values only; fixed precision keeps the file stable in
+    // form (values still vary with host timing, as any benchmark does).
+    format!("{v:.6}")
+}
+
+fn write_json(path: &str, sys: &System, steps: u64, rows: &[Row], invariant: bool) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bench-scaling/v1\",\n");
+    s.push_str(&format!("  \"atoms\": {},\n", sys.n_atoms()));
+    s.push_str(&format!("  \"steps_per_row\": {steps},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"nodes\": {}, \"threads\": {}, \"ms_per_step\": {}, \
+             \"lr_ms_per_eval\": {}, \"links_per_rank\": {}, \
+             \"kb_per_step_rank\": {}, \"mean_hops\": {}, \
+             \"modeled_comm_us\": {}, \"fft_messages_per_rank_lr_step\": {}, \
+             \"fft_kb_per_rank_lr_step\": {}, \
+             \"mesh_halo_kb_per_rank_lr_step\": {}, \"state_checksum\": \"{:016x}\"}}{}\n",
+            r.nodes,
+            r.threads,
+            json_escape_free(r.ms_per_step),
+            json_escape_free(r.lr_ms_per_eval),
+            r.links_per_rank,
+            json_escape_free(r.kb_per_step_rank),
+            json_escape_free(r.mean_hops),
+            json_escape_free(r.modeled_comm_us),
+            json_escape_free(r.fft_msgs_per_rank_lr),
+            json_escape_free(r.fft_kb_per_rank_lr),
+            json_escape_free(r.halo_kb_per_rank_lr),
+            r.checksum,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"invariant\": {invariant}\n"));
+    s.push_str("}\n");
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &s)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let full = anton_bench::full_mode();
     let sys = waterbox(full);
     let cycles = if full { 20 } else { 8 };
     let k = sys.params.longrange_every.max(1) as u64;
     let steps = cycles as u64 * k;
+    let lr_reps = if full { 10 } else { 4 };
 
     anton_bench::header(
         &format!(
@@ -62,15 +148,18 @@ fn main() {
             "nodes",
             "thr",
             "ms/step",
+            "lr ms",
             "links/rank",
             "KB/step·rank",
             "hops",
             "comm µs (model)",
+            "fft msg/rank",
+            "fft KB/rank",
             "state",
         ],
     );
 
-    let mut checksums = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for &nodes in &[1usize, 8, 64] {
         for &threads in &[1usize, 2, 4] {
             let decomposition = if nodes == 1 && threads == 1 {
@@ -86,30 +175,53 @@ fn main() {
             let t0 = Instant::now();
             sim.run_cycles(cycles);
             let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
+            let lr_ms_per_eval = time_long_range(&mut sim, lr_reps);
 
-            let (links, kb, hops, comm) = match sim.pipeline.rank_set() {
-                Some(rs) => {
-                    let c = &sim.pipeline.counters;
-                    let cfg = MachineConfig::with_nodes(rs.rank_count());
-                    (
-                        format!("{}", rs.plan.max_links_per_rank()),
-                        format!("{:.2}", c.per_rank_step_bytes(rs.rank_count()) / 1024.0),
-                        format!("{:.2}", c.mean_hops()),
-                        format!("{:.3}", c.modeled_step_comm_us(&cfg, rs.rank_count())),
-                    )
-                }
-                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            let mut row = Row {
+                nodes,
+                threads,
+                ms_per_step,
+                lr_ms_per_eval,
+                links_per_rank: 0,
+                kb_per_step_rank: 0.0,
+                mean_hops: 0.0,
+                modeled_comm_us: 0.0,
+                fft_msgs_per_rank_lr: 0.0,
+                fft_kb_per_rank_lr: 0.0,
+                halo_kb_per_rank_lr: 0.0,
+                checksum: state_checksum(&sim),
             };
-            let sum = state_checksum(&sim);
-            checksums.push(sum);
+            if let Some(rs) = sim.pipeline.rank_set() {
+                let c = &sim.pipeline.counters;
+                let cfg = MachineConfig::with_nodes(rs.rank_count());
+                let n = rs.rank_count();
+                row.links_per_rank = rs.plan.max_links_per_rank() as u64;
+                row.kb_per_step_rank = c.per_rank_step_bytes(n) / 1024.0;
+                row.mean_hops = c.mean_hops();
+                row.modeled_comm_us = c.modeled_step_comm_us(&cfg, n);
+                row.fft_msgs_per_rank_lr = c.fft_messages_per_rank_lr_step(n);
+                row.fft_kb_per_rank_lr = c.fft_bytes_per_rank_lr_step(n) / 1024.0;
+                row.halo_kb_per_rank_lr = c.mesh_halo_bytes_per_rank_lr_step(n) / 1024.0;
+            }
             println!(
-                "{:>5} | {:>3} | {:>7.3} | {:>10} | {:>12} | {:>4} | {:>15} | {:016x}",
-                nodes, threads, ms_per_step, links, kb, hops, comm, sum
+                "{:>5} | {:>3} | {:>7.3} | {:>7.3} | {:>10} | {:>12.2} | {:>4.2} | {:>15.3} | {:>12.1} | {:>11.2} | {:016x}",
+                row.nodes,
+                row.threads,
+                row.ms_per_step,
+                row.lr_ms_per_eval,
+                row.links_per_rank,
+                row.kb_per_step_rank,
+                row.mean_hops,
+                row.modeled_comm_us,
+                row.fft_msgs_per_rank_lr,
+                row.fft_kb_per_rank_lr,
+                row.checksum
             );
+            rows.push(row);
         }
     }
 
-    let invariant = checksums.iter().all(|&c| c == checksums[0]);
+    let invariant = rows.iter().all(|r| r.checksum == rows[0].checksum);
     println!(
         "\nparallel invariance: {}",
         if invariant {
@@ -118,5 +230,6 @@ fn main() {
             "VIOLATED — configurations diverged"
         }
     );
+    write_json("results/BENCH_scaling.json", &sys, steps, &rows, invariant);
     assert!(invariant, "trajectory diverged across configurations");
 }

@@ -10,18 +10,20 @@
 //!
 //! Under a [`Decomposition::Nodes`] decomposition the pipeline executes as
 //! a set of [`Rank`](crate::ranks::Rank)s: each rank computes its NT pairs,
-//! statically assigned bonded terms, and correction pairs into a *private*
-//! [`RawForces`] accumulator (driven by a pinned-size [`DetPool`]), and the
-//! rank buffers are merged serially in fixed rank order. No atomics, no
-//! cross-thread reductions — thread scheduling can only change when a rank
-//! buffer is filled, never its contents, so trajectories are bitwise
-//! invariant across node count *and* worker-thread count.
+//! statically assigned bonded terms, correction pairs, *and its share of
+//! the GSE mesh phase* (charge spreading and force interpolation over its
+//! home box's atoms, around a distributed-FFT trunk) into *private*
+//! accumulators (driven by a pinned-size [`DetPool`]), and the rank buffers
+//! are merged serially in fixed rank order. No atomics, no cross-thread
+//! reductions — thread scheduling can only change when a rank buffer is
+//! filled, never its contents, so trajectories are bitwise invariant across
+//! node count *and* worker-thread count.
 
 use crate::pool::DetPool;
 use crate::ranks::RankSet;
 use crate::state::{FixedState, ENERGY_FRAC, FORCE_FRAC};
 use anton_ewald::direct::DirectKernel;
-use anton_ewald::gse::{GseFixed, GseParams};
+use anton_ewald::gse::{GseFixed, GseParams, GseScratch, MeshAtoms, SupportScratch};
 use anton_ewald::Mesh;
 use anton_fixpoint::rounding::rne_f64;
 use anton_fixpoint::Q20;
@@ -29,7 +31,7 @@ use anton_forcefield::bonded;
 use anton_forcefield::ExclusionPolicy;
 use anton_geometry::{CellGrid, Vec3};
 use anton_machine::perf::ExchangeCounters;
-use anton_machine::Ppip;
+use anton_machine::{MeshExchange, Ppip};
 use anton_systems::System;
 
 /// How force work is enumerated (never affects results, bitwise).
@@ -146,10 +148,36 @@ pub struct ForcePipeline {
     ranks: Option<RankSet>,
     /// Modeled torus traffic of every `Nodes(n)` force evaluation.
     pub counters: ExchangeCounters,
+    /// Static long-range communication plan (mesh halos + FFT pencils);
+    /// `None` under [`Decomposition::SingleRank`].
+    mesh_exchange: Option<MeshExchange>,
     /// Per-rank private accumulators, reused across steps.
     scratch: Vec<RawForces>,
+    /// Per-rank long-range accumulators (forces + private charge mesh),
+    /// reused across steps.
+    lr_scratch: Vec<LrRank>,
+    /// Reusable mesh-phase buffers — the allocation-free reciprocal path.
+    gse_scratch: GseScratch,
     /// Decoded Cartesian positions, reused across steps.
     pos_buf: Vec<Vec3>,
+}
+
+/// One rank's private long-range state: a force accumulator, its share of
+/// the spread charge mesh, and a window-stencil scratch.
+struct LrRank {
+    forces: RawForces,
+    rho: Vec<i64>,
+    stencil: SupportScratch,
+}
+
+impl LrRank {
+    fn empty() -> LrRank {
+        LrRank {
+            forces: RawForces::zeroed(0),
+            rho: Vec::new(),
+            stencil: SupportScratch::default(),
+        }
+    }
 }
 
 const IMPORT_MARGIN: f64 = 8.0;
@@ -169,9 +197,36 @@ impl ForcePipeline {
                 Some(RankSet::build(sys, n, sys.params.cutoff + IMPORT_MARGIN))
             }
         };
+        // The FFT is planned over the simulated node grid (clamped per axis
+        // so every node dimension divides the mesh), so the reciprocal
+        // phase's pencil-message pattern matches the decomposition.
+        let fft_nodes = ranks.as_ref().map_or([1, 1, 1], |rs| {
+            [
+                rs.grid.dims.x as usize,
+                rs.grid.dims.y as usize,
+                rs.grid.dims.z as usize,
+            ]
+        });
+        let gse = GseFixed::with_nodes(Mesh::new(sys.params.mesh, sys.pbox), gse_params, fft_nodes);
+        let mesh_exchange = ranks.as_ref().map(|_| {
+            let h = gse.mesh.spacing();
+            let halo = [
+                (gse.params.spread_cutoff / h.x).ceil() as usize,
+                (gse.params.spread_cutoff / h.y).ceil() as usize,
+                (gse.params.spread_cutoff / h.z).ceil() as usize,
+            ];
+            let st = gse.fft_stats();
+            MeshExchange::new(
+                gse.mesh.dims,
+                gse.node_dims(),
+                halo,
+                st.messages_total(),
+                st.bytes_total(),
+            )
+        });
         ForcePipeline {
             ppip: Ppip::build(beta, sys.params.cutoff),
-            gse: GseFixed::new(Mesh::new(sys.params.mesh, sys.pbox), gse_params),
+            gse,
             beta,
             corr_kernel: DirectKernel::reference(beta, sys.params.cutoff),
             rc2_q20: Q20::from_f64(sys.params.cutoff * sys.params.cutoff).raw(),
@@ -190,7 +245,10 @@ impl ForcePipeline {
             pool: DetPool::new(threads),
             ranks,
             counters: ExchangeCounters::default(),
+            mesh_exchange,
             scratch: Vec::new(),
+            lr_scratch: Vec::new(),
+            gse_scratch: GseScratch::default(),
             pos_buf: Vec::new(),
         }
     }
@@ -298,28 +356,98 @@ impl ForcePipeline {
     }
 
     /// The long-range force class of a RESPA outer step: reciprocal (GSE)
-    /// plus correction pairs. Under `Nodes(n)` the corrections run per rank
-    /// on the pool while the (undistributed) GSE mesh phase runs on the
-    /// calling thread — the software analogue of the concurrent HTIS and
-    /// flexible chains of §3.2. GSE FFT distribution over ranks is future
-    /// work; see DESIGN.md.
+    /// plus correction pairs. Under `Nodes(n)` the whole reciprocal phase
+    /// is sharded over the rank set (§3.2.2): each rank spreads its home
+    /// box's atoms into a *private* charge mesh; the meshes merge in fixed
+    /// rank order with wrapping adds; the distributed fixed-point FFT trunk
+    /// (forward → Green multiply → inverse) runs on the calling thread
+    /// *overlapped* with the per-rank correction pairs — the software
+    /// analogue of the concurrent HTIS and flexible chains of §3.2 — and
+    /// each rank then interpolates its atoms' forces from the shared
+    /// potential mesh. Every phase either partitions work (disjoint FFT
+    /// pencils, disjoint atoms) or accumulates quantized summands with
+    /// wrapping adds, so the result is bitwise invariant to node count and
+    /// thread count. The mesh-halo and FFT pencil traffic is metered into
+    /// [`ExchangeCounters`] per long-range step.
     pub fn long_range(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
         if self.ranks.is_none() {
             self.reciprocal(sys, state, out);
             self.corrections(sys, state, out);
             return;
         }
-        let mut scratch = self.take_scratch(sys.n_atoms());
-        let this = &*self;
-        let rs = this.ranks.as_ref().expect("rank set checked above");
-        this.pool.run_overlapped(
-            &mut scratch,
-            |r, buf| this.rank_corrections(sys, state, rs, r, buf),
-            || this.reciprocal(sys, state, out),
-        );
-        self.scratch = scratch;
-        for s in &self.scratch {
-            out.merge_from(s);
+        let n = sys.n_atoms();
+        state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
+        {
+            // Long-range steps normally follow a short-range evaluation
+            // that already re-homed atoms for these positions; only meter
+            // a fresh exchange step when called standalone.
+            let rs = self.ranks.as_mut().expect("rank set checked above");
+            if !rs.is_prepared(n) {
+                rs.prepare(state, &mut self.counters);
+            }
+        }
+        let n_mesh = self.gse.mesh.len();
+        let n_ranks = self.ranks.as_ref().map_or(0, RankSet::rank_count);
+        let mut lr = std::mem::take(&mut self.lr_scratch);
+        lr.resize_with(n_ranks, LrRank::empty);
+        for s in &mut lr {
+            if s.forces.f.len() == n {
+                s.forces.clear();
+            } else {
+                s.forces = RawForces::zeroed(n);
+            }
+            s.rho.clear();
+            s.rho.resize(n_mesh, 0);
+        }
+        let mut gs = std::mem::take(&mut self.gse_scratch);
+        gs.begin(n_mesh);
+        {
+            let this = &*self;
+            let rs = this.ranks.as_ref().expect("rank set checked above");
+            let charges = &sys.topology.charge;
+            let view = |r: usize| MeshAtoms {
+                positions: &this.pos_buf,
+                charges,
+                atoms: rs.atoms_in_box(r),
+            };
+            // 1. Per-rank charge spreading into private meshes.
+            this.pool.run(&mut lr, |r, s| {
+                this.gse.spread_into(view(r), &mut s.rho, &mut s.stencil);
+            });
+            // 2. Serial rank-ordered wrapping merge of the charge meshes
+            //    (the modeled charge-halo exchange).
+            for s in &lr {
+                for (a, &b) in gs.rho_q.iter_mut().zip(&s.rho) {
+                    *a = a.wrapping_add(b);
+                }
+            }
+            // 3. FFT trunk on the calling thread, overlapped with the
+            //    per-rank correction pairs on the pool.
+            this.pool.run_overlapped(
+                &mut lr,
+                |r, s| this.rank_corrections(sys, state, rs, r, &mut s.forces),
+                || this.gse.transform(&mut gs),
+            );
+            // 4. Per-rank force interpolation from the shared potential.
+            this.pool.run(&mut lr, |r, s| {
+                let phi = &gs.phi_q;
+                let e = this.gse.interpolate_into(
+                    view(r),
+                    phi,
+                    FORCE_FRAC,
+                    &mut s.forces.f,
+                    &mut s.stencil,
+                );
+                s.forces.e_reciprocal = s.forces.e_reciprocal.wrapping_add(e);
+            });
+        }
+        self.gse_scratch = gs;
+        self.lr_scratch = lr;
+        for s in &self.lr_scratch {
+            out.merge_from(&s.forces);
+        }
+        if let Some(me) = &self.mesh_exchange {
+            me.record_lr_step(&mut self.counters);
         }
     }
 
@@ -574,12 +702,25 @@ impl ForcePipeline {
         }
     }
 
-    /// Long-range (mesh) forces via the fixed-point GSE pipeline.
-    pub fn reciprocal(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
-        let pos = state.decode_positions(&sys.pbox);
-        let e = self
-            .gse
-            .compute_fixed(&pos, &sys.topology.charge, FORCE_FRAC, &mut out.f);
+    /// Long-range (mesh) forces via the fixed-point GSE pipeline, evaluated
+    /// monolithically (all atoms on the calling thread). Allocation-free in
+    /// steady state: positions decode into and mesh buffers live in the
+    /// pipeline's reusable scratch.
+    pub fn reciprocal(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
+        let ForcePipeline {
+            gse,
+            gse_scratch,
+            pos_buf,
+            ..
+        } = self;
+        let e = gse.compute_fixed(
+            pos_buf,
+            &sys.topology.charge,
+            FORCE_FRAC,
+            &mut out.f,
+            gse_scratch,
+        );
         out.e_reciprocal = out.e_reciprocal.wrapping_add(e);
     }
 }
@@ -673,6 +814,32 @@ mod tests {
         // The fan-out metered its exchange traffic.
         assert_eq!(pipe.counters.steps, 1);
         assert!(pipe.counters.import_bytes > 0);
+    }
+
+    /// Multi-node long-range steps meter the FFT pencil and mesh-halo
+    /// traffic; a single simulated node exchanges nothing.
+    #[test]
+    fn distributed_mesh_meters_fft_traffic() {
+        let sys = water_system(120, 13);
+        let state = state_of(&sys);
+
+        let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(8), 1);
+        let mut out = RawForces::zeroed(sys.n_atoms());
+        pipe.long_range(&sys, &state, &mut out);
+        assert_eq!(pipe.counters.lr_steps, 1);
+        assert!(pipe.counters.fft_messages > 0);
+        assert!(pipe.counters.fft_bytes > 0);
+        assert!(pipe.counters.mesh_halo_messages > 0);
+        assert!(pipe.counters.mesh_halo_bytes > 0);
+
+        let mut single = ForcePipeline::new(&sys, Decomposition::Nodes(1), 1);
+        let mut out1 = RawForces::zeroed(sys.n_atoms());
+        single.long_range(&sys, &state, &mut out1);
+        assert_eq!(single.counters.lr_steps, 1);
+        assert_eq!(single.counters.fft_messages, 0);
+        assert_eq!(single.counters.mesh_halo_bytes, 0);
+        // And the distributed evaluation is bitwise identical to it.
+        assert_eq!(out, out1);
     }
 
     #[test]

@@ -192,6 +192,14 @@ impl RankSet {
         self.plan.record_step(&self.atoms_per_box, c);
     }
 
+    /// Whether [`Self::prepare`] has run for a state of `n_atoms` atoms —
+    /// i.e. the home-box index is populated and `atoms_in_box` partitions
+    /// the atom set.
+    #[inline]
+    pub fn is_prepared(&self, n_atoms: usize) -> bool {
+        self.homes.len() == n_atoms
+    }
+
     /// Current home box of an atom (valid after [`Self::prepare`]).
     #[inline]
     pub fn home(&self, atom: usize) -> IVec3 {

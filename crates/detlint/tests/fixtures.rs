@@ -87,6 +87,20 @@ fn d5_accepts_rank_indexed_merge_after_scoped_fanout() {
 }
 
 #[test]
+fn d5_accepts_pencil_fanout_with_rank_ordered_mesh_merge() {
+    // The distributed-FFT shape: scoped workers own disjoint pencil chunks,
+    // the charge meshes merge serially in rank order after the scope.
+    let hits = rules_hit("crates/fft/src/good.rs", "pass_d5_fft_pencils.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
+fn d5_flags_unordered_pencil_merge() {
+    let hits = rules_hit("crates/fft/src/bad.rs", "fail_d5_fft_merge.rs");
+    assert_eq!(hits, [("D5".into(), 6)]);
+}
+
+#[test]
 fn meta_flags_malformed_directives() {
     let hits = rules_hit("crates/core/src/bad.rs", "fail_meta_directives.rs");
     let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();

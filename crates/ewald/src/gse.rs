@@ -24,13 +24,19 @@
 //! Two implementations share the math:
 //! * [`GseReference`] — `f64`, used by tests and the reference engine.
 //! * [`GseFixed`] — the deterministic path the Anton engine runs: fixed-point
-//!   mesh accumulation (order-free wrapping adds), the fixed-point FFT of
-//!   `anton-fft`, and quantized Green's-function coefficients. Its output is
+//!   mesh accumulation (order-free wrapping adds), the *distributed*
+//!   fixed-point pencil-exchange FFT of `anton-fft` (planned for the
+//!   simulated node grid), and quantized Green's-function coefficients. The
+//!   phase decomposes as per-rank spreading ([`GseFixed::spread_into`]) →
+//!   rank-ordered mesh merge → FFT trunk ([`GseFixed::transform`]) →
+//!   per-rank interpolation ([`GseFixed::interpolate_into`]); its output is
 //!   bitwise independent of how atoms are distributed across nodes/threads.
+//!   All hot-path buffers live in a caller-owned [`GseScratch`], so steady
+//!   state evaluations are allocation-free.
 
 use crate::mesh::Mesh;
-use anton_fft::fixed::{FxComplex, FxFft};
-use anton_fft::{Complex, Fft3d};
+use anton_fft::fixed::FxComplex;
+use anton_fft::{CommStats, Complex, Fft3d, FxDistributedFft3d};
 use anton_fixpoint::rounding::rne_f64;
 use anton_forcefield::units::COULOMB;
 use anton_geometry::Vec3;
@@ -115,6 +121,80 @@ impl GseParams {
             0.0 // tinfoil boundary, neutral system
         } else {
             4.0 * std::f64::consts::PI / k2 * (-self.sigma_r2 * k2 / 2.0).exp()
+        }
+    }
+}
+
+/// Reusable per-axis window/derivative buffers for the separable support
+/// iteration. One lives in every rank's private mesh scratch so the hot
+/// path never allocates; the reference path makes throwaway ones.
+#[derive(Clone, Debug, Default)]
+pub struct SupportScratch {
+    wx: Vec<f64>,
+    dwx: Vec<f64>,
+    wy: Vec<f64>,
+    dwy: Vec<f64>,
+    wz: Vec<f64>,
+    dwz: Vec<f64>,
+}
+
+/// Visit every mesh point within the (per-axis) support of the window
+/// around `p`, passing the flattened index, the window value, and its
+/// gradient with respect to the atom position. Shared by the reference and
+/// fixed-point paths; `s` holds the separable per-axis tables, reused
+/// across calls.
+pub fn visit_support(
+    mesh: &Mesh,
+    params: &GseParams,
+    p: Vec3,
+    s: &mut SupportScratch,
+    mut f: impl FnMut(usize, f64, Vec3),
+) {
+    let [nx, ny, nz] = mesh.dims;
+    let rt = params.spread_cutoff;
+    let (x0, cx) = mesh.support(p.x, rt, 0);
+    let (y0, cy) = mesh.support(p.y, rt, 1);
+    let (z0, cz) = mesh.support(p.z, rt, 2);
+    let h = mesh.spacing();
+
+    // Per-axis window values and derivatives (separable).
+    s.wx.clear();
+    s.dwx.clear();
+    for a in 0..cx {
+        let d = p.x - (x0 + a as i64) as f64 * h.x;
+        s.wx.push(params.window_1d(d));
+        s.dwx.push(params.window_1d_deriv(d));
+    }
+    s.wy.clear();
+    s.dwy.clear();
+    for b in 0..cy {
+        let d = p.y - (y0 + b as i64) as f64 * h.y;
+        s.wy.push(params.window_1d(d));
+        s.dwy.push(params.window_1d_deriv(d));
+    }
+    s.wz.clear();
+    s.dwz.clear();
+    for c in 0..cz {
+        let d = p.z - (z0 + c as i64) as f64 * h.z;
+        s.wz.push(params.window_1d(d));
+        s.dwz.push(params.window_1d_deriv(d));
+    }
+
+    for c in 0..cz {
+        let mz = (z0 + c as i64).rem_euclid(nz as i64) as usize;
+        for b in 0..cy {
+            let my = (y0 + b as i64).rem_euclid(ny as i64) as usize;
+            let base = nx * (my + ny * mz);
+            for a in 0..cx {
+                let mx = (x0 + a as i64).rem_euclid(nx as i64) as usize;
+                let w = s.wx[a] * s.wy[b] * s.wz[c];
+                let grad = Vec3::new(
+                    s.dwx[a] * s.wy[b] * s.wz[c],
+                    s.wx[a] * s.dwy[b] * s.wz[c],
+                    s.wx[a] * s.wy[b] * s.dwz[c],
+                );
+                f(base + mx, w, grad);
+            }
         }
     }
 }
@@ -214,57 +294,14 @@ impl GseReference {
         f
     }
 
-    /// Visit every mesh point within the (per-axis) support of the window
-    /// around `p`, passing the flattened index, the window value, and its
-    /// gradient with respect to the atom position.
-    fn for_each_support(&self, p: Vec3, mut f: impl FnMut(usize, f64, Vec3)) {
-        let [nx, ny, nz] = self.mesh.dims;
-        let rt = self.params.spread_cutoff;
-        let (x0, cx) = self.mesh.support(p.x, rt, 0);
-        let (y0, cy) = self.mesh.support(p.y, rt, 1);
-        let (z0, cz) = self.mesh.support(p.z, rt, 2);
-        let h = self.mesh.spacing();
-
-        // Per-axis window values and derivatives (separable).
-        let mut wx = Vec::with_capacity(cx);
-        let mut dwx = Vec::with_capacity(cx);
-        for a in 0..cx {
-            let d = p.x - (x0 + a as i64) as f64 * h.x;
-            wx.push(self.params.window_1d(d));
-            dwx.push(self.params.window_1d_deriv(d));
-        }
-        let mut wy = Vec::with_capacity(cy);
-        let mut dwy = Vec::with_capacity(cy);
-        for b in 0..cy {
-            let d = p.y - (y0 + b as i64) as f64 * h.y;
-            wy.push(self.params.window_1d(d));
-            dwy.push(self.params.window_1d_deriv(d));
-        }
-        let mut wz = Vec::with_capacity(cz);
-        let mut dwz = Vec::with_capacity(cz);
-        for c in 0..cz {
-            let d = p.z - (z0 + c as i64) as f64 * h.z;
-            wz.push(self.params.window_1d(d));
-            dwz.push(self.params.window_1d_deriv(d));
-        }
-
-        for c in 0..cz {
-            let mz = (z0 + c as i64).rem_euclid(nz as i64) as usize;
-            for b in 0..cy {
-                let my = (y0 + b as i64).rem_euclid(ny as i64) as usize;
-                let base = nx * (my + ny * mz);
-                for a in 0..cx {
-                    let mx = (x0 + a as i64).rem_euclid(nx as i64) as usize;
-                    let w = wx[a] * wy[b] * wz[c];
-                    let grad = Vec3::new(
-                        dwx[a] * wy[b] * wz[c],
-                        wx[a] * dwy[b] * wz[c],
-                        wx[a] * wy[b] * dwz[c],
-                    );
-                    f(base + mx, w, grad);
-                }
-            }
-        }
+    fn for_each_support(&self, p: Vec3, f: impl FnMut(usize, f64, Vec3)) {
+        visit_support(
+            &self.mesh,
+            &self.params,
+            p,
+            &mut SupportScratch::default(),
+            f,
+        );
     }
 }
 
@@ -295,45 +332,217 @@ pub const MESH_FRAC: u32 = 40;
 /// Fraction bits of the quantized Green coefficients.
 pub const GREEN_FRAC: u32 = 24;
 
+/// One rank's view of its resident atoms for the mesh phase: the shared
+/// position/charge arrays plus the indices of the atoms this rank spreads
+/// and interpolates (its home-box population under the decomposition).
+#[derive(Clone, Copy)]
+pub struct MeshAtoms<'a> {
+    pub positions: &'a [Vec3],
+    pub charges: &'a [f64],
+    /// Atom indices this rank owns.
+    pub atoms: &'a [u32],
+}
+
+/// Reusable buffers of one reciprocal evaluation — the allocation-free hot
+/// path. `rho_q` is the merged charge mesh the FFT trunk consumes; `phi_q`
+/// is the potential mesh every rank reads back during interpolation.
+#[derive(Clone, Debug, Default)]
+pub struct GseScratch {
+    /// Q `MESH_FRAC` spread charge (per-rank accumulators are merged into
+    /// this in fixed rank order before the FFT).
+    pub rho_q: Vec<i64>,
+    grid: Vec<FxComplex>,
+    /// Q `MESH_FRAC` interpolation potential (shared, read-only fan-out).
+    pub phi_q: Vec<i64>,
+    line: Vec<FxComplex>,
+    stencil: SupportScratch,
+}
+
+impl GseScratch {
+    /// Reset the charge mesh to `n_mesh` zeros, reusing capacity.
+    pub fn begin(&mut self, n_mesh: usize) {
+        self.rho_q.clear();
+        self.rho_q.resize(n_mesh, 0);
+    }
+}
+
 /// The deterministic fixed-point GSE pipeline used by the Anton engine.
 ///
 /// Charge spreading accumulates quantized contributions into an `i64` mesh
 /// with wrapping adds (order-free → bitwise parallel invariance); the FFT is
-/// the fixed-point transform of `anton-fft`; the Green coefficients are
+/// the distributed fixed-point pencil-exchange transform of `anton-fft`,
+/// planned over the simulated node grid; the Green coefficients are
 /// quantized once at plan time. Interpolated forces are quantized on output.
 pub struct GseFixed {
     pub mesh: Mesh,
     pub params: GseParams,
-    fx: [FxFft; 3],
+    fft: FxDistributedFft3d,
     /// Quantized Green table (Q `GREEN_FRAC`), including the volume factor
     /// and the FFT scale compensation (an exact power of two).
     green_q: Vec<i64>,
     /// log2 of the total mesh size (forward FFT scale to undo).
     log2n: u32,
+    /// 3D window normalization, a pure function of `params`, fixed at plan
+    /// time so the per-atom hot loops never recompute the erf.
+    norm: f64,
 }
 
 impl GseFixed {
+    /// A single-node (undistributed) plan.
     pub fn new(mesh: Mesh, params: GseParams) -> GseFixed {
-        let [nx, ny, nz] = mesh.dims;
+        GseFixed::with_nodes(mesh, params, [1, 1, 1])
+    }
+
+    /// Plan the mesh phase for a simulated `nodes` grid: each node owns a
+    /// slab of the mesh and the FFT exchanges pencils over the grid
+    /// (paper §3.2.2). Node dimensions are clamped per axis so every one
+    /// divides the mesh (both are powers of two). The *results* are bitwise
+    /// identical for every grid; only the modeled message pattern changes.
+    pub fn with_nodes(mesh: Mesh, params: GseParams, nodes: [usize; 3]) -> GseFixed {
+        let dims = mesh.dims;
+        let nodes = [
+            nodes[0].min(dims[0]),
+            nodes[1].min(dims[1]),
+            nodes[2].min(dims[2]),
+        ];
         let green_f = build_green_table(&mesh, &params);
         let green_q = green_f
             .iter()
             .map(|&g| rne_f64(g * (1i64 << GREEN_FRAC) as f64) as i64)
             .collect();
         let log2n = (mesh.len() as u64).trailing_zeros();
+        let norm = params.norm();
         GseFixed {
+            fft: FxDistributedFft3d::new(dims, nodes),
             mesh,
             params,
-            fx: [FxFft::new(nx), FxFft::new(ny), FxFft::new(nz)],
             green_q,
             log2n,
+            norm,
         }
+    }
+
+    /// The (clamped) node grid the FFT is planned over.
+    pub fn node_dims(&self) -> [usize; 3] {
+        self.fft.node_dims()
+    }
+
+    /// Static pencil-exchange statistics of one 3D transform.
+    pub fn fft_stats(&self) -> &CommStats {
+        self.fft.stats()
+    }
+
+    /// Spread one quantized charge into the mesh (order-free accumulation).
+    #[inline]
+    fn spread_one(&self, p: Vec3, q: f64, rho_q: &mut [i64], st: &mut SupportScratch) {
+        let norm = self.norm;
+        let scale = (1i64 << MESH_FRAC) as f64;
+        visit_support(&self.mesh, &self.params, p, st, |idx, w, _| {
+            let contrib = rne_f64(q * norm * w * scale) as i64;
+            rho_q[idx] = rho_q[idx].wrapping_add(contrib);
+        });
+    }
+
+    /// Interpolate one atom's energy and force from the potential mesh.
+    /// Per-atom terms are computed in f64 from the fixed mesh
+    /// (deterministic) and quantized before the order-free accumulation.
+    #[inline]
+    fn interpolate_one(
+        &self,
+        p: Vec3,
+        q: f64,
+        phi_q: &[i64],
+        force_frac: u32,
+        f_out: &mut [i64; 3],
+        st: &mut SupportScratch,
+    ) -> i64 {
+        let inv_scale = 1.0 / (1i64 << MESH_FRAC) as f64;
+        let vc = self.mesh.cell_volume();
+        let mut e = 0.0f64;
+        let mut f = Vec3::ZERO;
+        visit_support(&self.mesh, &self.params, p, st, |idx, w, dw| {
+            let phi = phi_q[idx] as f64 * inv_scale;
+            e += phi * w;
+            f -= phi * 1.0 * dw;
+        });
+        let qn = q * self.norm * vc * COULOMB;
+        let e_i = 0.5 * e * qn - COULOMB * self.params.beta / std::f64::consts::PI.sqrt() * q * q;
+        let fs = (1i64 << force_frac) as f64;
+        f_out[0] = f_out[0].wrapping_add(rne_f64(f.x * qn * fs) as i64);
+        f_out[1] = f_out[1].wrapping_add(rne_f64(f.y * qn * fs) as i64);
+        f_out[2] = f_out[2].wrapping_add(rne_f64(f.z * qn * fs) as i64);
+        rne_f64(e_i * (1u64 << 32) as f64) as i64
+    }
+
+    /// Spread a rank's resident atoms into its *private* charge mesh. The
+    /// caller merges rank meshes in fixed rank order with wrapping adds —
+    /// since every contribution is quantized before accumulation, any
+    /// partition of atoms over ranks produces the identical merged mesh.
+    pub fn spread_into(&self, view: MeshAtoms, rho_q: &mut [i64], st: &mut SupportScratch) {
+        for &a in view.atoms {
+            let i = a as usize;
+            let q = view.charges[i];
+            if q == 0.0 {
+                continue;
+            }
+            self.spread_one(view.positions[i], q, rho_q, st);
+        }
+    }
+
+    /// Interpolate a rank's resident atoms from the shared potential mesh
+    /// into its private force accumulator; returns the rank's Q32
+    /// reciprocal-energy contribution (wrapping-accumulated by the caller).
+    pub fn interpolate_into(
+        &self,
+        view: MeshAtoms,
+        phi_q: &[i64],
+        force_frac: u32,
+        forces_raw: &mut [[i64; 3]],
+        st: &mut SupportScratch,
+    ) -> i64 {
+        let mut energy_q: i64 = 0;
+        for &a in view.atoms {
+            let i = a as usize;
+            let q = view.charges[i];
+            if q == 0.0 {
+                continue;
+            }
+            energy_q = energy_q.wrapping_add(self.interpolate_one(
+                view.positions[i],
+                q,
+                phi_q,
+                force_frac,
+                &mut forces_raw[i],
+                st,
+            ));
+        }
+        energy_q
+    }
+
+    /// The mesh trunk between spreading and interpolation: forward fixed
+    /// FFT over `s.rho_q`, Green multiply (Q `GREEN_FRAC`, undoing the
+    /// forward 1/N scale with an exact left shift folded into the rounding
+    /// shift), inverse fixed FFT; leaves the potential mesh in `s.phi_q`.
+    /// Allocation-free in steady state.
+    pub fn transform(&self, s: &mut GseScratch) {
+        s.grid.clear();
+        s.grid.extend(s.rho_q.iter().map(|&r| FxComplex::new(r, 0)));
+        self.fft.forward(&mut s.grid, &mut s.line);
+        let shift = GREEN_FRAC.saturating_sub(self.log2n);
+        for (g, &gq) in s.grid.iter_mut().zip(&self.green_q) {
+            g.re = anton_fixpoint::rne_shr_i128(g.re as i128 * gq as i128, shift);
+            g.im = anton_fixpoint::rne_shr_i128(g.im as i128 * gq as i128, shift);
+        }
+        self.fft.inverse(&mut s.grid, &mut s.line);
+        s.phi_q.clear();
+        s.phi_q.extend(s.grid.iter().map(|c| c.re));
     }
 
     /// Reciprocal-space evaluation over `f64` positions that are understood
     /// to be already quantized (the Anton engine stores fixed-point positions
     /// and hands their exact decoded values here). Forces come back quantized
     /// to `force_frac` bits; the returned energy is quantized to 2⁻³² kcal/mol.
+    /// All buffers live in `scratch`, reused across calls.
     ///
     /// Every arithmetic step is a pure function of the inputs with a fixed
     /// dataflow, so results are bitwise reproducible and independent of any
@@ -344,123 +553,31 @@ impl GseFixed {
         charges: &[f64],
         force_frac: u32,
         forces_raw: &mut [[i64; 3]],
+        scratch: &mut GseScratch,
     ) -> i64 {
-        let n_mesh = self.mesh.len();
-        let norm = self.params.norm();
-        let helper = GseReference {
-            mesh: self.mesh.clone(),
-            params: self.params,
-            fft: Fft3d::new(self.mesh.dims[0], self.mesh.dims[1], self.mesh.dims[2]),
-            green: vec![],
-        };
-
-        // 1. Fixed-point charge spreading (order-free accumulation).
-        let mut rho_q = vec![0i64; n_mesh];
-        let scale = (1i64 << MESH_FRAC) as f64;
+        scratch.begin(self.mesh.len());
         for (p, &q) in positions.iter().zip(charges) {
             if q == 0.0 {
                 continue;
             }
-            helper.for_each_support(*p, |idx, w, _| {
-                let contrib = rne_f64(q * norm * w * scale) as i64;
-                rho_q[idx] = rho_q[idx].wrapping_add(contrib);
-            });
+            self.spread_one(*p, q, &mut scratch.rho_q, &mut scratch.stencil);
         }
-
-        // 2. Fixed 3D FFT (forward, scaled by 1/N).
-        let mut grid: Vec<FxComplex> = rho_q.iter().map(|&r| FxComplex::new(r, 0)).collect();
-        self.pass_3d(&mut grid, true);
-
-        // 3. Green multiply (Q GREEN_FRAC), undoing the forward 1/N scale
-        //    with an exact left shift folded into the rounding shift.
-        for (g, &gq) in grid.iter_mut().zip(&self.green_q) {
-            let shift = GREEN_FRAC.saturating_sub(self.log2n);
-            g.re = anton_fixpoint::rne_shr_i128(g.re as i128 * gq as i128, shift);
-            g.im = anton_fixpoint::rne_shr_i128(g.im as i128 * gq as i128, shift);
-        }
-
-        // 4. Inverse fixed FFT (the standard inverse, already carrying 1/N).
-        self.pass_3d(&mut grid, false);
-        let phi_q: Vec<i64> = grid.iter().map(|c| c.re).collect();
-
-        // 5. Energy and force interpolation. Per-atom terms are computed in
-        //    f64 from the fixed mesh (deterministic) and quantized before the
-        //    order-free accumulation.
-        let inv_scale = 1.0 / scale;
-        let vc = self.mesh.cell_volume();
+        self.transform(scratch);
         let mut energy_q: i64 = 0;
         for (i, (p, &q)) in positions.iter().zip(charges).enumerate() {
             if q == 0.0 {
                 continue;
             }
-            let mut e = 0.0f64;
-            let mut f = Vec3::ZERO;
-            helper.for_each_support(*p, |idx, w, dw| {
-                let phi = phi_q[idx] as f64 * inv_scale;
-                e += phi * w;
-                f -= phi * 1.0 * dw;
-            });
-            let qn = q * norm * vc * COULOMB;
-            let e_i =
-                0.5 * e * qn - COULOMB * self.params.beta / std::f64::consts::PI.sqrt() * q * q;
-            energy_q = energy_q.wrapping_add(rne_f64(e_i * (1u64 << 32) as f64) as i64);
-            let fs = (1i64 << force_frac) as f64;
-            forces_raw[i][0] = forces_raw[i][0].wrapping_add(rne_f64(f.x * qn * fs) as i64);
-            forces_raw[i][1] = forces_raw[i][1].wrapping_add(rne_f64(f.y * qn * fs) as i64);
-            forces_raw[i][2] = forces_raw[i][2].wrapping_add(rne_f64(f.z * qn * fs) as i64);
+            energy_q = energy_q.wrapping_add(self.interpolate_one(
+                *p,
+                q,
+                &scratch.phi_q,
+                force_frac,
+                &mut forces_raw[i],
+                &mut scratch.stencil,
+            ));
         }
         energy_q
-    }
-
-    /// Three axis passes of the fixed-point FFT over the x-fastest grid.
-    fn pass_3d(&self, grid: &mut [FxComplex], forward: bool) {
-        let [nx, ny, nz] = self.mesh.dims;
-        let mut line = vec![FxComplex::ZERO; nx.max(ny).max(nz)];
-        // X lines.
-        for z in 0..nz {
-            for y in 0..ny {
-                let base = nx * (y + ny * z);
-                line[..nx].copy_from_slice(&grid[base..base + nx]);
-                if forward {
-                    self.fx[0].forward_scaled(&mut line[..nx]);
-                } else {
-                    self.fx[0].inverse_scaled(&mut line[..nx]);
-                }
-                grid[base..base + nx].copy_from_slice(&line[..nx]);
-            }
-        }
-        // Y lines.
-        for z in 0..nz {
-            for x in 0..nx {
-                for y in 0..ny {
-                    line[y] = grid[x + nx * (y + ny * z)];
-                }
-                if forward {
-                    self.fx[1].forward_scaled(&mut line[..ny]);
-                } else {
-                    self.fx[1].inverse_scaled(&mut line[..ny]);
-                }
-                for y in 0..ny {
-                    grid[x + nx * (y + ny * z)] = line[y];
-                }
-            }
-        }
-        // Z lines.
-        for y in 0..ny {
-            for x in 0..nx {
-                for z in 0..nz {
-                    line[z] = grid[x + nx * (y + ny * z)];
-                }
-                if forward {
-                    self.fx[2].forward_scaled(&mut line[..nz]);
-                } else {
-                    self.fx[2].inverse_scaled(&mut line[..nz]);
-                }
-                for z in 0..nz {
-                    grid[x + nx * (y + ny * z)] = line[z];
-                }
-            }
-        }
     }
 }
 
@@ -589,7 +706,7 @@ mod tests {
 
         let fixed = GseFixed::new(mesh, params);
         let mut f_q = vec![[0i64; 3]; 64];
-        let e_q = fixed.compute_fixed(&pos, &q, 24, &mut f_q);
+        let e_q = fixed.compute_fixed(&pos, &q, 24, &mut f_q, &mut GseScratch::default());
         let e_fixed = e_q as f64 / (1u64 << 32) as f64;
 
         assert!(
@@ -617,17 +734,46 @@ mod tests {
         let params = GseParams::auto(5.5, 3.8);
         let fixed = GseFixed::new(Mesh::new([16; 3], pbox), params);
 
+        let mut scratch = GseScratch::default();
         let mut f1 = vec![[0i64; 3]; 32];
-        let e1 = fixed.compute_fixed(&pos, &q, 24, &mut f1);
+        let e1 = fixed.compute_fixed(&pos, &q, 24, &mut f1, &mut scratch);
 
-        // Reversed atom order.
+        // Reversed atom order (scratch reuse must not leak state between
+        // evaluations).
         let pos_r: Vec<Vec3> = pos.iter().rev().copied().collect();
         let q_r: Vec<f64> = q.iter().rev().copied().collect();
         let mut f2 = vec![[0i64; 3]; 32];
-        let e2 = fixed.compute_fixed(&pos_r, &q_r, 24, &mut f2);
+        let e2 = fixed.compute_fixed(&pos_r, &q_r, 24, &mut f2, &mut scratch);
         let f2_unrev: Vec<[i64; 3]> = f2.into_iter().rev().collect();
 
         assert_eq!(e1, e2, "energy depends on accumulation order");
         assert_eq!(f1, f2_unrev, "forces depend on accumulation order");
+    }
+
+    #[test]
+    fn distributed_mesh_phase_is_bitwise_invariant_across_node_grids() {
+        // The same evaluation through FFT plans over different simulated
+        // node grids must be bitwise identical: only the modeled pencil
+        // message pattern changes, never the arithmetic.
+        let (pbox, pos, q) = random_neutral_system(48, 18.0, 13);
+        let params = GseParams::auto(9.0, 5.0);
+        let mesh = Mesh::new([16; 3], pbox);
+
+        let serial = GseFixed::new(mesh.clone(), params);
+        let mut scratch = GseScratch::default();
+        let mut f0 = vec![[0i64; 3]; 48];
+        let e0 = serial.compute_fixed(&pos, &q, 24, &mut f0, &mut scratch);
+        assert_eq!(serial.fft_stats().messages_total(), 0);
+
+        for nodes in [[2, 2, 2], [4, 4, 4]] {
+            let dist = GseFixed::with_nodes(mesh.clone(), params, nodes);
+            assert_eq!(dist.node_dims(), nodes);
+            assert!(dist.fft_stats().messages_total() > 0);
+            assert!(dist.fft_stats().bytes_total() > 0);
+            let mut f = vec![[0i64; 3]; 48];
+            let e = dist.compute_fixed(&pos, &q, 24, &mut f, &mut scratch);
+            assert_eq!(e0, e, "energy differs on node grid {nodes:?}");
+            assert_eq!(f0, f, "forces differ on node grid {nodes:?}");
+        }
     }
 }

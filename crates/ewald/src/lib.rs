@@ -26,6 +26,6 @@ pub mod mesh;
 pub mod spme;
 
 pub use direct::{DirectKernel, PairClass};
-pub use gse::{GseFixed, GseParams, GseReference};
+pub use gse::{GseFixed, GseParams, GseReference, GseScratch, MeshAtoms, SupportScratch};
 pub use mesh::Mesh;
 pub use spme::Spme;

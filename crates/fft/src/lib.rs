@@ -24,6 +24,6 @@ pub mod fft3d;
 pub mod fixed;
 
 pub use complex::Complex;
-pub use distributed::{CommStats, DistributedFft3d};
+pub use distributed::{CommStats, DistributedFft3d, FxDistributedFft3d};
 pub use fft1d::Fft1d;
 pub use fft3d::Fft3d;

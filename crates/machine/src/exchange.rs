@@ -19,6 +19,9 @@ use serde::{Deserialize, Serialize};
 pub const POS_BYTES: u64 = 12;
 /// Wire bytes per reduced atom force (3 × 64-bit raw accumulator words).
 pub const FORCE_BYTES: u64 = 24;
+/// Wire bytes per exchanged mesh point (one 64-bit fixed-point charge or
+/// potential accumulator word).
+pub const MESH_BYTES: u64 = 8;
 
 /// One directed import link: rank `dst` needs the atoms of the box owned by
 /// rank `src`, a dimension-order-routed `hops` away on the torus. The force
@@ -143,6 +146,93 @@ impl ExchangePlan {
     }
 }
 
+/// Static long-range (reciprocal) communication plan: the mesh-halo
+/// exchange of the spread/interpolate phases plus the pencil gather/scatter
+/// traffic of the distributed FFT (paper §3.2.2).
+///
+/// Each node owns the mesh slab `mesh/nodes` covering its home box. An
+/// atom's spreading stencil reaches up to `halo_cells` mesh cells beyond
+/// the slab in each direction, so the slab owner must exchange the dilated
+/// shell with every node whose slab the shell overlaps — once outbound
+/// after spreading (charge merge) and once inbound before interpolation
+/// (potential halo). The FFT message counts are input-independent and come
+/// precomputed from the planned transform's
+/// [`CommStats`](anton_fft::CommStats).
+///
+/// Like [`ExchangePlan`], the pattern is static: population shifts change
+/// nothing, so one plan meters every long-range step.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MeshExchange {
+    ranks: u64,
+    /// Mesh points in one rank's halo shell (dilated slab minus slab).
+    halo_points_per_rank: u64,
+    /// Distinct remote slab owners a rank's halo shell overlaps.
+    halo_neighbors_per_rank: u64,
+    /// Pencil messages of ONE 3D transform (whole machine).
+    fft_messages_per_transform: u64,
+    /// Pencil bytes of ONE 3D transform (whole machine).
+    fft_bytes_per_transform: u64,
+}
+
+impl MeshExchange {
+    /// Plan for a `mesh` distributed over `nodes` (each axis divides), with
+    /// a spreading stencil reaching `halo_cells[a]` cells beyond the slab
+    /// per direction, and the FFT's per-transform message/byte totals.
+    pub fn new(
+        mesh: [usize; 3],
+        nodes: [usize; 3],
+        halo_cells: [usize; 3],
+        fft_messages_per_transform: u64,
+        fft_bytes_per_transform: u64,
+    ) -> MeshExchange {
+        let mut slab = [0u64; 3];
+        let mut dilated = [0u64; 3];
+        let mut cover = [0u64; 3];
+        for a in 0..3 {
+            assert!(nodes[a] > 0 && mesh[a].is_multiple_of(nodes[a]), "axis {a}");
+            let s = (mesh[a] / nodes[a]) as i64;
+            let h = halo_cells[a] as i64;
+            slab[a] = s as u64;
+            dilated[a] = ((s + 2 * h) as u64).min(mesh[a] as u64);
+            // Slabs overlapped by [-h, s+h): integer interval of slab
+            // indices, clamped to the node count (wrap-around dedup).
+            let lo = (-h).div_euclid(s);
+            let hi = (s + h - 1).div_euclid(s);
+            cover[a] = ((hi - lo + 1) as u64).min(nodes[a] as u64);
+        }
+        let ranks = (nodes[0] * nodes[1] * nodes[2]) as u64;
+        let halo_points_per_rank =
+            dilated[0] * dilated[1] * dilated[2] - slab[0] * slab[1] * slab[2];
+        let halo_neighbors_per_rank = cover[0] * cover[1] * cover[2] - 1;
+        MeshExchange {
+            ranks,
+            halo_points_per_rank,
+            halo_neighbors_per_rank,
+            fft_messages_per_transform,
+            fft_bytes_per_transform,
+        }
+    }
+
+    pub fn halo_points_per_rank(&self) -> u64 {
+        self.halo_points_per_rank
+    }
+
+    pub fn halo_neighbors_per_rank(&self) -> u64 {
+        self.halo_neighbors_per_rank
+    }
+
+    /// Meter one long-range step into `c`: charge-halo merge after
+    /// spreading + potential-halo broadcast before interpolation (factor
+    /// two), and the forward + inverse FFT (factor two).
+    pub fn record_lr_step(&self, c: &mut ExchangeCounters) {
+        c.lr_steps += 1;
+        c.mesh_halo_messages += 2 * self.ranks * self.halo_neighbors_per_rank;
+        c.mesh_halo_bytes += 2 * self.ranks * self.halo_points_per_rank * MESH_BYTES;
+        c.fft_messages += 2 * self.fft_messages_per_transform;
+        c.fft_bytes += 2 * self.fft_bytes_per_transform;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +305,54 @@ mod tests {
         let mut c = ExchangeCounters::default();
         p.record_step(&[42], &mut c);
         assert_eq!(c.import_bytes, 0);
+    }
+
+    #[test]
+    fn mesh_exchange_counts_halo_shell_and_neighbors() {
+        // 16³ mesh over 2×2×2 nodes with a 5-cell stencil reach: the slab
+        // is 8³, the dilated box (8+10 clamped to 16)³ = 16³, so the halo
+        // shell is 16³ − 8³ = 3584 points and covers both slabs per axis —
+        // all 7 other nodes are neighbors.
+        let me = MeshExchange::new([16; 3], [2; 3], [5; 3], 100, 800);
+        assert_eq!(me.halo_points_per_rank(), 16 * 16 * 16 - 8 * 8 * 8);
+        assert_eq!(me.halo_neighbors_per_rank(), 7);
+        let mut c = ExchangeCounters::default();
+        me.record_lr_step(&mut c);
+        assert_eq!(c.lr_steps, 1);
+        assert_eq!(c.mesh_halo_messages, 2 * 8 * 7);
+        assert_eq!(c.mesh_halo_bytes, 2 * 8 * 3584 * MESH_BYTES);
+        // Forward + inverse transform.
+        assert_eq!(c.fft_messages, 200);
+        assert_eq!(c.fft_bytes, 1600);
+    }
+
+    #[test]
+    fn single_node_mesh_exchange_is_free() {
+        let me = MeshExchange::new([16; 3], [1; 3], [5; 3], 0, 0);
+        assert_eq!(me.halo_points_per_rank(), 0);
+        assert_eq!(me.halo_neighbors_per_rank(), 0);
+        let mut c = ExchangeCounters::default();
+        me.record_lr_step(&mut c);
+        me.record_lr_step(&mut c);
+        assert_eq!(c.lr_steps, 2);
+        assert_eq!(c.mesh_halo_bytes, 0);
+        assert_eq!(c.fft_messages, 0);
+    }
+
+    #[test]
+    fn mesh_halo_traffic_feeds_modeled_comm_time() {
+        use crate::config::MachineConfig;
+        let me = MeshExchange::new([16; 3], [2; 3], [5; 3], 100, 800);
+        let p = plan(2, 1, 1);
+        let mut with_mesh = ExchangeCounters::default();
+        p.record_step(&[10; 8], &mut with_mesh);
+        let mut without_mesh = with_mesh;
+        me.record_lr_step(&mut with_mesh);
+        without_mesh.lr_steps += 1;
+        let cfg = MachineConfig::anton_512();
+        assert!(
+            with_mesh.modeled_step_comm_us(&cfg, 8) > without_mesh.modeled_step_comm_us(&cfg, 8),
+            "mesh traffic must increase modeled comm time"
+        );
     }
 }

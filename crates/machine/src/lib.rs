@@ -27,7 +27,7 @@ pub mod tables;
 pub mod topology;
 
 pub use config::MachineConfig;
-pub use exchange::{ExchangePlan, Link};
+pub use exchange::{ExchangePlan, Link, MeshExchange};
 pub use htis::{HtisRun, HtisSim};
 pub use perf::{ExchangeCounters, PerfModel, StepBreakdown, SystemStats};
 pub use ppip::{MatchUnit, Ppip};

@@ -68,10 +68,12 @@ impl SystemStats {
 }
 
 /// Accumulated communication volume of a simulated run, metered by
-/// [`ExchangePlan::record_step`](crate::exchange::ExchangePlan::record_step):
-/// position imports forward over the torus, force reductions backward.
-/// Hop-weighted byte counts capture link occupancy under dimension-order
-/// routing (a 3-hop message consumes three links' bandwidth).
+/// [`ExchangePlan::record_step`](crate::exchange::ExchangePlan::record_step)
+/// (position imports forward over the torus, force reductions backward) and
+/// [`MeshExchange::record_lr_step`](crate::exchange::MeshExchange::record_lr_step)
+/// (charge-halo exchange plus the distributed FFT's pencil messages on
+/// long-range steps). Hop-weighted byte counts capture link occupancy under
+/// dimension-order routing (a 3-hop message consumes three links' bandwidth).
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct ExchangeCounters {
     pub steps: u64,
@@ -82,10 +84,21 @@ pub struct ExchangeCounters {
     pub reduce_messages: u64,
     pub reduce_bytes: u64,
     pub reduce_hop_bytes: u64,
+    /// Steps that evaluated the long-range (reciprocal) phase.
+    pub lr_steps: u64,
+    /// Pencil gather/scatter messages of the distributed FFT (both
+    /// transforms of a long-range step).
+    pub fft_messages: u64,
+    pub fft_bytes: u64,
+    /// Charge-spreading / force-interpolation halo exchange between mesh
+    /// slab owners.
+    pub mesh_halo_messages: u64,
+    pub mesh_halo_bytes: u64,
 }
 
 impl ExchangeCounters {
-    /// Mean torus hops per byte moved (import + reduction).
+    /// Mean torus hops per byte moved (import + reduction; mesh traffic is
+    /// nearest-neighbor-dominated and excluded from the hop estimate).
     pub fn mean_hops(&self) -> f64 {
         let bytes = self.import_bytes + self.reduce_bytes;
         if bytes == 0 {
@@ -94,24 +107,57 @@ impl ExchangeCounters {
         (self.import_hop_bytes + self.reduce_hop_bytes) as f64 / bytes as f64
     }
 
-    /// Bytes injected per rank per step (import + reduction).
+    /// Total bytes moved per step across all three force phases.
+    fn total_bytes(&self) -> u64 {
+        self.import_bytes + self.reduce_bytes + self.fft_bytes + self.mesh_halo_bytes
+    }
+
+    /// Total messages across all three force phases.
+    fn total_messages(&self) -> u64 {
+        self.import_messages + self.reduce_messages + self.fft_messages + self.mesh_halo_messages
+    }
+
+    /// Bytes injected per rank per step (all phases).
     pub fn per_rank_step_bytes(&self, n_ranks: usize) -> f64 {
         if self.steps == 0 || n_ranks == 0 {
             return 0.0;
         }
-        (self.import_bytes + self.reduce_bytes) as f64 / self.steps as f64 / n_ranks as f64
+        self.total_bytes() as f64 / self.steps as f64 / n_ranks as f64
+    }
+
+    /// FFT pencil messages per rank per long-range step.
+    pub fn fft_messages_per_rank_lr_step(&self, n_ranks: usize) -> f64 {
+        if self.lr_steps == 0 || n_ranks == 0 {
+            return 0.0;
+        }
+        self.fft_messages as f64 / self.lr_steps as f64 / n_ranks as f64
+    }
+
+    /// FFT pencil bytes per rank per long-range step.
+    pub fn fft_bytes_per_rank_lr_step(&self, n_ranks: usize) -> f64 {
+        if self.lr_steps == 0 || n_ranks == 0 {
+            return 0.0;
+        }
+        self.fft_bytes as f64 / self.lr_steps as f64 / n_ranks as f64
+    }
+
+    /// Mesh-halo bytes per rank per long-range step.
+    pub fn mesh_halo_bytes_per_rank_lr_step(&self, n_ranks: usize) -> f64 {
+        if self.lr_steps == 0 || n_ranks == 0 {
+            return 0.0;
+        }
+        self.mesh_halo_bytes as f64 / self.lr_steps as f64 / n_ranks as f64
     }
 
     /// Modeled per-step communication time (µs) on `cfg`'s links: per-rank
     /// serialization through the node's channels, wire latency of the mean
-    /// hop distance, and per-message overhead.
+    /// hop distance, and per-message overhead. Covers all three force
+    /// phases (range-limited import/reduce, mesh halo, FFT pencils).
     pub fn modeled_step_comm_us(&self, cfg: &MachineConfig, n_ranks: usize) -> f64 {
         if self.steps == 0 || n_ranks == 0 {
             return 0.0;
         }
-        let msgs_per_rank_step = (self.import_messages + self.reduce_messages) as f64
-            / self.steps as f64
-            / n_ranks as f64;
+        let msgs_per_rank_step = self.total_messages() as f64 / self.steps as f64 / n_ranks as f64;
         let wire_s = self.per_rank_step_bytes(n_ranks) / cfg.node_bandwidth_bytes()
             + self.mean_hops() * cfg.hop_latency_s
             + msgs_per_rank_step * cfg.message_overhead_s;
