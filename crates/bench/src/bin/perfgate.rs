@@ -1,0 +1,253 @@
+//! CI perf-regression gate over the scaling benchmark artifacts.
+//!
+//! Compares the current `results/BENCH_scaling.json` and
+//! `results/TRACE_scaling.json` (both produced by the `scaling` binary)
+//! against the checked-in `results/PERF_baseline.json`, with a tolerance
+//! tier per kind of quantity:
+//!
+//! * **exact** — message/byte/span counts, link counts, and state
+//!   checksums: pure functions of the simulation configuration, so any
+//!   drift is a real behavior change (or a broken determinism claim).
+//! * **modeled** (relative 1e-6) — modeled communication times: f64
+//!   arithmetic over the exact counts; the slack only absorbs formatting.
+//! * **measured** (factor 50) — host wall-clock: legitimately varies
+//!   between machines and runs, so only catastrophic slowdowns gate.
+//!
+//! `cargo run --release -p anton-bench --bin perfgate` — gate (exit 1 on
+//! violation); `--update` re-snapshots the baseline from the current
+//! artifacts after an intentional change.
+
+use anton_bench::json::Json;
+
+const BENCH_PATH: &str = "results/BENCH_scaling.json";
+const TRACE_PATH: &str = "results/TRACE_scaling.json";
+const BASELINE_PATH: &str = "results/PERF_baseline.json";
+
+const MODELED_REL_TOL: f64 = 1e-6;
+const MEASURED_FACTOR: f64 = 50.0;
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run the scaling benchmark first)"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// Collects violations instead of failing fast, so one run reports every
+/// drifted quantity.
+#[derive(Default)]
+struct Gate {
+    checks: usize,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn field<'a>(&mut self, ctx: &str, obj: &'a Json, key: &str) -> Option<&'a Json> {
+        let v = obj.get(key);
+        if v.is_none() {
+            self.failures.push(format!("{ctx}: missing field '{key}'"));
+        }
+        v
+    }
+
+    fn exact_u64(&mut self, ctx: &str, key: &str, base: &Json, cur: &Json) {
+        self.checks += 1;
+        let (b, c) = (
+            self.field(ctx, base, key).and_then(Json::as_u64),
+            self.field(ctx, cur, key).and_then(Json::as_u64),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            if b != c {
+                self.failures.push(format!(
+                    "{ctx}: {key} changed exactly: baseline {b}, current {c}"
+                ));
+            }
+        }
+    }
+
+    fn exact_str(&mut self, ctx: &str, key: &str, base: &Json, cur: &Json) {
+        self.checks += 1;
+        let (b, c) = (
+            self.field(ctx, base, key).and_then(Json::as_str),
+            self.field(ctx, cur, key).and_then(Json::as_str),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            if b != c {
+                self.failures
+                    .push(format!("{ctx}: {key} changed: baseline {b}, current {c}"));
+            }
+        }
+    }
+
+    fn modeled(&mut self, ctx: &str, key: &str, base: &Json, cur: &Json) {
+        self.checks += 1;
+        let (b, c) = (
+            self.field(ctx, base, key).and_then(Json::as_f64),
+            self.field(ctx, cur, key).and_then(Json::as_f64),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            let scale = b.abs().max(c.abs()).max(1e-12);
+            if (b - c).abs() > MODELED_REL_TOL * scale {
+                self.failures.push(format!(
+                    "{ctx}: modeled {key} drifted beyond {MODELED_REL_TOL:e} rel: \
+                     baseline {b}, current {c}"
+                ));
+            }
+        }
+    }
+
+    fn measured(&mut self, ctx: &str, key: &str, base: &Json, cur: &Json) {
+        self.checks += 1;
+        let (b, c) = (
+            self.field(ctx, base, key).and_then(Json::as_f64),
+            self.field(ctx, cur, key).and_then(Json::as_f64),
+        );
+        if let (Some(b), Some(c)) = (b, c) {
+            if b > 0.0 && c > b * MEASURED_FACTOR {
+                self.failures.push(format!(
+                    "{ctx}: measured {key} regressed more than {MEASURED_FACTOR}x: \
+                     baseline {b}, current {c}"
+                ));
+            }
+        }
+    }
+}
+
+/// Find the row of `rows` with the same (nodes, threads) as `base_row`.
+fn matching_row<'a>(rows: &'a [Json], base_row: &Json) -> Option<&'a Json> {
+    let nodes = base_row.get("nodes")?.as_u64()?;
+    let threads = base_row.get("threads")?.as_u64()?;
+    rows.iter().find(|r| {
+        r.get("nodes").and_then(Json::as_u64) == Some(nodes)
+            && r.get("threads").and_then(Json::as_u64) == Some(threads)
+    })
+}
+
+fn gate_bench(g: &mut Gate, base: &Json, cur: &Json) {
+    g.exact_u64("bench", "atoms", base, cur);
+    g.exact_u64("bench", "steps_per_row", base, cur);
+    g.checks += 1;
+    if cur.get("invariant").and_then(Json::as_bool) != Some(true) {
+        g.failures
+            .push("bench: parallel invariance flag is not true".into());
+    }
+    let base_rows = base.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let cur_rows = cur.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let nodes = b.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+        let threads = b.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let ctx = format!("bench[{nodes}n/{threads}t]");
+        let Some(c) = matching_row(cur_rows, b) else {
+            g.failures
+                .push(format!("{ctx}: row missing from current run"));
+            continue;
+        };
+        g.exact_str(&ctx, "state_checksum", b, c);
+        g.exact_u64(&ctx, "links_per_rank", b, c);
+        for key in [
+            "kb_per_step_rank",
+            "mean_hops",
+            "modeled_comm_us",
+            "fft_messages_per_rank_lr_step",
+            "fft_kb_per_rank_lr_step",
+            "mesh_halo_kb_per_rank_lr_step",
+        ] {
+            g.modeled(&ctx, key, b, c);
+        }
+        for key in ["ms_per_step", "lr_ms_per_eval"] {
+            g.measured(&ctx, key, b, c);
+        }
+    }
+}
+
+fn gate_trace(g: &mut Gate, base: &Json, cur: &Json) {
+    g.exact_u64("trace", "atoms", base, cur);
+    g.exact_u64("trace", "cycles_per_row", base, cur);
+    let base_rows = base.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let cur_rows = cur.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let nodes = b.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+        let threads = b.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let ctx = format!("trace[{nodes}n/{threads}t]");
+        let Some(c) = matching_row(cur_rows, b) else {
+            g.failures
+                .push(format!("{ctx}: row missing from current run"));
+            continue;
+        };
+        g.exact_str(&ctx, "state_checksum", b, c);
+        let base_phases = b.get("phases").and_then(Json::as_arr).unwrap_or(&[]);
+        let cur_phases = c.get("phases").and_then(Json::as_arr).unwrap_or(&[]);
+        for bp in base_phases {
+            let name = bp.get("phase").and_then(Json::as_str).unwrap_or("?");
+            let pctx = format!("{ctx}.{name}");
+            let Some(cp) = cur_phases
+                .iter()
+                .find(|p| p.get("phase").and_then(Json::as_str) == Some(name))
+            else {
+                g.failures.push(format!("{pctx}: phase row missing"));
+                continue;
+            };
+            g.exact_u64(&pctx, "spans", bp, cp);
+            g.exact_u64(&pctx, "messages", bp, cp);
+            g.exact_u64(&pctx, "bytes", bp, cp);
+            g.modeled(&pctx, "modeled_us", bp, cp);
+        }
+    }
+}
+
+fn update_baseline() {
+    let bench = std::fs::read_to_string(BENCH_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {BENCH_PATH}: {e}"));
+    let trace = std::fs::read_to_string(TRACE_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {TRACE_PATH}: {e}"));
+    // Both inputs are themselves JSON documents; the baseline just embeds
+    // them under one object (validated on the way in).
+    Json::parse(&bench).unwrap_or_else(|e| panic!("invalid {BENCH_PATH}: {e}"));
+    Json::parse(&trace).unwrap_or_else(|e| panic!("invalid {TRACE_PATH}: {e}"));
+    let s = format!(
+        "{{\n\"schema\": \"perf-baseline/v1\",\n\"bench\":\n{bench},\n\"trace\":\n{trace}}}\n",
+        bench = bench.trim_end(),
+        trace = trace.trim_end(),
+    );
+    std::fs::write(BASELINE_PATH, s)
+        .unwrap_or_else(|e| panic!("cannot write {BASELINE_PATH}: {e}"));
+    println!("wrote {BASELINE_PATH}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--update") {
+        update_baseline();
+        return;
+    }
+    let baseline = read_json(BASELINE_PATH);
+    let bench = read_json(BENCH_PATH);
+    let trace = read_json(TRACE_PATH);
+
+    let mut g = Gate::default();
+    match (baseline.get("bench"), baseline.get("trace")) {
+        (Some(bb), Some(bt)) => {
+            gate_bench(&mut g, bb, &bench);
+            gate_trace(&mut g, bt, &trace);
+        }
+        _ => g
+            .failures
+            .push(format!("{BASELINE_PATH}: missing 'bench'/'trace' sections")),
+    }
+
+    if g.failures.is_empty() {
+        println!(
+            "perf gate: {} checks against {BASELINE_PATH} — all passed",
+            g.checks
+        );
+    } else {
+        eprintln!(
+            "perf gate: {} of {} checks FAILED:",
+            g.failures.len(),
+            g.checks
+        );
+        for f in &g.failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(after an intentional change: re-run scaling, then perfgate --update)");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@ use anton_core::{AntonSimulation, Decomposition, RawForces};
 use anton_machine::MachineConfig;
 use anton_systems::spec::RunParams;
 use anton_systems::System;
+use anton_trace::{chrome_trace_json, phase_summary, summary_table, PhaseRow};
 use std::time::Instant;
 
 fn waterbox(full: bool) -> System {
@@ -130,6 +131,101 @@ fn write_json(path: &str, sys: &System, steps: u64, rows: &[Row], invariant: boo
     }
 }
 
+/// One traced configuration: the per-phase summary with the measured
+/// wall-clock stripped, leaving only the deterministic payload.
+struct TraceRow {
+    nodes: usize,
+    threads: usize,
+    checksum: u64,
+    phases: Vec<PhaseRow>,
+}
+
+fn write_trace_json(path: &str, sys: &System, cycles: usize, rows: &[TraceRow]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"trace-scaling/v1\",\n");
+    s.push_str(&format!("  \"atoms\": {},\n", sys.n_atoms()));
+    s.push_str(&format!("  \"cycles_per_row\": {cycles},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"nodes\": {}, \"threads\": {}, \"state_checksum\": \"{:016x}\", \"phases\": [\n",
+            r.nodes, r.threads, r.checksum
+        ));
+        for (j, p) in r.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"phase\": \"{}\", \"spans\": {}, \"messages\": {}, \
+                 \"bytes\": {}, \"modeled_us\": {}}}{}\n",
+                p.phase.name(),
+                p.spans,
+                p.messages,
+                p.bytes,
+                json_escape_free(p.modeled_us),
+                if j + 1 < r.phases.len() { "," } else { "" },
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &s)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+/// Re-run a few decompositions with the trace subsystem enabled. The
+/// deterministic part of each phase summary (span counts and modeled
+/// communication; never the measured wall-clock) goes to
+/// `results/TRACE_scaling.json` for the perf gate, and the chrome-trace of
+/// the 8-node run goes to `results/TRACE_chrome.json` (gitignored; open in
+/// chrome://tracing or Perfetto). Returns the rows for the invariance check.
+fn traced_pass(sys: &System, cycles: usize) -> Vec<TraceRow> {
+    let mut out = Vec::new();
+    for &(nodes, threads) in &[(1usize, 1usize), (8, 2), (64, 4)] {
+        let decomposition = if nodes == 1 && threads == 1 {
+            Decomposition::SingleRank
+        } else {
+            Decomposition::Nodes(nodes)
+        };
+        let mut sim = AntonSimulation::builder(sys.clone())
+            .velocities_from_temperature(300.0, 7)
+            .decomposition(decomposition)
+            .threads(threads)
+            .tracing(true)
+            .build();
+        sim.run_cycles(cycles);
+        let buf = sim.trace().buf().expect("tracing was enabled");
+        assert_eq!(buf.dropped_spans(), 0, "trace span capacity exceeded");
+        assert_eq!(buf.dropped_counters(), 0, "trace counter capacity exceeded");
+        let phases = phase_summary(buf);
+        println!("\n--- traced: {nodes} nodes, {threads} threads ---");
+        print!("{}", summary_table(&phases));
+        if nodes == 8 {
+            let chrome = chrome_trace_json(buf);
+            if let Err(e) = std::fs::create_dir_all("results")
+                .and_then(|()| std::fs::write("results/TRACE_chrome.json", &chrome))
+            {
+                eprintln!("warning: could not write results/TRACE_chrome.json: {e}");
+            } else {
+                println!("wrote results/TRACE_chrome.json");
+            }
+        }
+        out.push(TraceRow {
+            nodes,
+            threads,
+            checksum: state_checksum(&sim),
+            phases,
+        });
+    }
+    write_trace_json("results/TRACE_scaling.json", sys, cycles, &out);
+    out
+}
+
 fn main() {
     let full = anton_bench::full_mode();
     let sys = waterbox(full);
@@ -221,11 +317,14 @@ fn main() {
         }
     }
 
-    let invariant = rows.iter().all(|r| r.checksum == rows[0].checksum);
+    let traced = traced_pass(&sys, cycles);
+
+    let invariant = rows.iter().all(|r| r.checksum == rows[0].checksum)
+        && traced.iter().all(|r| r.checksum == rows[0].checksum);
     println!(
         "\nparallel invariance: {}",
         if invariant {
-            "all configurations bitwise identical"
+            "all configurations (traced and untraced) bitwise identical"
         } else {
             "VIOLATED — configurations diverged"
         }

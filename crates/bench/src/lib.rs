@@ -8,6 +8,8 @@
 use anton_core::{AntonSimulation, ThermostatKind};
 use anton_systems::System;
 
+pub mod json;
+
 /// Parse the common `--full` flag.
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")

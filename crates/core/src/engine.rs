@@ -11,6 +11,7 @@ use anton_geometry::Vec3;
 use anton_nt::migration::MigrationSchedule;
 use anton_systems::velocities::init_velocities;
 use anton_systems::System;
+use anton_trace::{Phase, TraceSink, RANK_MAIN};
 
 /// Temperature control.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,6 +30,7 @@ pub struct SimulationBuilder {
     threads: usize,
     thermostat: ThermostatKind,
     constraints_enabled: bool,
+    tracing: bool,
 }
 
 impl SimulationBuilder {
@@ -69,6 +71,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enable structured tracing: the pipeline records phase spans and
+    /// communication counters into a [`TraceSink`] readable through
+    /// [`AntonSimulation::trace`]. Never affects results — trajectories are
+    /// bitwise identical with tracing on and off.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
     pub fn build(self) -> AntonSimulation {
         let velocities = self
             .velocities
@@ -80,6 +91,7 @@ impl SimulationBuilder {
             self.threads,
             self.thermostat,
             self.constraints_enabled,
+            self.tracing,
         )
     }
 }
@@ -112,9 +124,11 @@ impl AntonSimulation {
             threads: threads_from_env(),
             thermostat: ThermostatKind::None,
             constraints_enabled: true,
+            tracing: false,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn new(
         system: System,
         velocities: Vec<Vec3>,
@@ -122,9 +136,13 @@ impl AntonSimulation {
         threads: usize,
         thermostat: ThermostatKind,
         constraints_enabled: bool,
+        tracing: bool,
     ) -> AntonSimulation {
         let state = FixedState::from_f64(&system.pbox, &system.positions, &velocities);
-        let pipeline = ForcePipeline::new(&system, decomposition, threads);
+        let mut pipeline = ForcePipeline::new(&system, decomposition, threads);
+        if tracing {
+            pipeline.set_trace(TraceSink::on());
+        }
         let n = system.n_atoms();
         let dt = system.params.dt_fs;
         let k = system.params.longrange_every.max(1) as f64;
@@ -285,13 +303,23 @@ impl AntonSimulation {
     /// velocity negation at a cycle boundary reverses the trajectory exactly
     /// when constraints and the thermostat are off.
     pub fn run_cycle(&mut self) {
+        self.pipeline.trace_mut().set_step(self.step);
+        let t0 = self.pipeline.trace().now_ns();
         Self::kick(&mut self.state, &self.long, &self.kick_long_half);
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Integrate, RANK_MAIN, t0);
         let k = self.system.params.longrange_every.max(1);
         for _ in 0..k {
             self.inner_step();
         }
+        self.pipeline.trace_mut().set_step(self.step);
         self.refresh_long();
+        let t0 = self.pipeline.trace().now_ns();
         Self::kick(&mut self.state, &self.long, &self.kick_long_half);
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Integrate, RANK_MAIN, t0);
 
         if let ThermostatKind::Berendsen { target_k, tau_fs } = self.thermostat {
             let t = self.temperature_k();
@@ -319,13 +347,25 @@ impl AntonSimulation {
     }
 
     fn inner_step(&mut self) {
+        self.pipeline.trace_mut().set_step(self.step);
+        let t_step = self.pipeline.trace().now_ns();
         Self::kick(&mut self.state, &self.short, &self.kick_half);
         let pos_ref = self.state.decode_positions(&self.system.pbox);
         self.drift_all();
         self.apply_constraints(&pos_ref);
         self.update_virtual_sites();
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Integrate, RANK_MAIN, t_step);
         self.refresh_short();
+        let t1 = self.pipeline.trace().now_ns();
         Self::kick(&mut self.state, &self.short, &self.kick_half);
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Integrate, RANK_MAIN, t1);
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Step, RANK_MAIN, t_step);
         self.step += 1;
     }
 
@@ -337,6 +377,16 @@ impl AntonSimulation {
     /// property of its force pipeline).
     pub fn decomposition(&self) -> Decomposition {
         self.pipeline.decomposition()
+    }
+
+    /// The trace sink ([`TraceSink::Off`] unless built with
+    /// [`SimulationBuilder::tracing`]).
+    pub fn trace(&self) -> &TraceSink {
+        self.pipeline.trace()
+    }
+
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        self.pipeline.trace_mut()
     }
 
     /// Recompute both force classes from the current state — required after

@@ -31,8 +31,9 @@ use anton_forcefield::bonded;
 use anton_forcefield::ExclusionPolicy;
 use anton_geometry::{CellGrid, Vec3};
 use anton_machine::perf::ExchangeCounters;
-use anton_machine::{MeshExchange, Ppip};
+use anton_machine::{modeled_burst_us, MachineConfig, MeshExchange, Ppip};
 use anton_systems::System;
+use anton_trace::{Lane, Phase, TraceSink, RANK_MAIN};
 
 /// How force work is enumerated (never affects results, bitwise).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,8 +152,16 @@ pub struct ForcePipeline {
     /// Static long-range communication plan (mesh halos + FFT pencils);
     /// `None` under [`Decomposition::SingleRank`].
     mesh_exchange: Option<MeshExchange>,
-    /// Per-rank private accumulators, reused across steps.
-    scratch: Vec<RawForces>,
+    /// Structured event recorder ([`TraceSink::Off`] unless installed via
+    /// [`Self::set_trace`]). Tracing never influences results: timestamps
+    /// are observability payload only, and the golden-trajectory tier
+    /// asserts bitwise identity with tracing on and off.
+    trace: TraceSink,
+    /// Machine model pricing the metered traffic of trace counters
+    /// (`Nodes(n)` only).
+    machine: Option<MachineConfig>,
+    /// Per-rank private accumulators (+ trace lanes), reused across steps.
+    scratch: Vec<RankScratch>,
     /// Per-rank long-range accumulators (forces + private charge mesh),
     /// reused across steps.
     lr_scratch: Vec<LrRank>,
@@ -162,12 +171,21 @@ pub struct ForcePipeline {
     pos_buf: Vec<Vec3>,
 }
 
+/// One rank's short-range scratch: a private force accumulator plus the
+/// trace lane its worker records phase spans into (exactly one worker owns
+/// each scratch per fan-out, so lane recording needs no synchronization).
+struct RankScratch {
+    forces: RawForces,
+    lane: Lane,
+}
+
 /// One rank's private long-range state: a force accumulator, its share of
-/// the spread charge mesh, and a window-stencil scratch.
+/// the spread charge mesh, a window-stencil scratch, and its trace lane.
 struct LrRank {
     forces: RawForces,
     rho: Vec<i64>,
     stencil: SupportScratch,
+    lane: Lane,
 }
 
 impl LrRank {
@@ -176,6 +194,7 @@ impl LrRank {
             forces: RawForces::zeroed(0),
             rho: Vec::new(),
             stencil: SupportScratch::default(),
+            lane: Lane::new(),
         }
     }
 }
@@ -246,6 +265,11 @@ impl ForcePipeline {
             ranks,
             counters: ExchangeCounters::default(),
             mesh_exchange,
+            trace: TraceSink::Off,
+            machine: match decomposition {
+                Decomposition::SingleRank => None,
+                Decomposition::Nodes(n) => Some(MachineConfig::with_nodes(n)),
+            },
             scratch: Vec::new(),
             lr_scratch: Vec::new(),
             gse_scratch: GseScratch::default(),
@@ -264,6 +288,85 @@ impl ForcePipeline {
     /// The rank architecture (`None` under [`Decomposition::SingleRank`]).
     pub fn rank_set(&self) -> Option<&RankSet> {
         self.ranks.as_ref()
+    }
+
+    /// The trace sink recording this pipeline's phase spans and counters.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Install a trace sink (pass [`TraceSink::on`] to start recording).
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// Attribute the exchange traffic metered since the `before` snapshot
+    /// to its emitting phases: one counter sample per traffic class, priced
+    /// by the machine config's hop math (import/reduce traffic to the
+    /// re-home bookkeeping, halo traffic to the mesh merge, pencil traffic
+    /// split over the two FFT transforms).
+    fn meter_since(&mut self, before: ExchangeCounters) {
+        if !self.trace.is_on() {
+            return;
+        }
+        let d = self.counters.delta_since(&before);
+        let n_ranks = self.ranks.as_ref().map_or(1, RankSet::rank_count).max(1);
+        let cfg = self.machine;
+        let emit = |trace: &mut TraceSink, name, phase, msgs: u64, bytes: u64, hop_bytes: u64| {
+            if msgs == 0 && bytes == 0 {
+                return;
+            }
+            let modeled = cfg.map_or(0.0, |c| {
+                modeled_burst_us(&c, n_ranks, msgs, bytes, hop_bytes)
+            });
+            trace.counter(name, phase, msgs, bytes, modeled);
+        };
+        emit(
+            &mut self.trace,
+            "import",
+            Phase::ReHome,
+            d.import_messages,
+            d.import_bytes,
+            d.import_hop_bytes,
+        );
+        emit(
+            &mut self.trace,
+            "reduce",
+            Phase::ReHome,
+            d.reduce_messages,
+            d.reduce_bytes,
+            d.reduce_hop_bytes,
+        );
+        // Halo and pencil messages are nearest-neighbor: hop volume = volume.
+        emit(
+            &mut self.trace,
+            "mesh_halo",
+            Phase::MeshMerge,
+            d.mesh_halo_messages,
+            d.mesh_halo_bytes,
+            d.mesh_halo_bytes,
+        );
+        let (fwd_msgs, fwd_bytes) = (d.fft_messages / 2, d.fft_bytes / 2);
+        emit(
+            &mut self.trace,
+            "fft_pencils",
+            Phase::FftForward,
+            fwd_msgs,
+            fwd_bytes,
+            fwd_bytes,
+        );
+        emit(
+            &mut self.trace,
+            "fft_pencils",
+            Phase::FftInverse,
+            d.fft_messages - fwd_msgs,
+            d.fft_bytes - fwd_bytes,
+            d.fft_bytes - fwd_bytes,
+        );
     }
 
     /// One range-limited pair: fixed-point r², exact integer cutoff test,
@@ -337,7 +440,11 @@ impl ForcePipeline {
     /// Range-limited forces under the pipeline's decomposition.
     pub fn range_limited(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
         match self.decomposition {
-            Decomposition::SingleRank => self.range_limited_cellgrid(sys, state, out),
+            Decomposition::SingleRank => {
+                let t0 = self.trace.now_ns();
+                self.range_limited_cellgrid(sys, state, out);
+                self.trace.end_span(Phase::RangeLimited, RANK_MAIN, t0);
+            }
             Decomposition::Nodes(_) => self.rank_fanout(sys, state, out, false),
         }
     }
@@ -348,8 +455,12 @@ impl ForcePipeline {
     pub fn short_range(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
         match self.decomposition {
             Decomposition::SingleRank => {
+                let t0 = self.trace.now_ns();
                 self.range_limited_cellgrid(sys, state, out);
+                self.trace.end_span(Phase::RangeLimited, RANK_MAIN, t0);
+                let t0 = self.trace.now_ns();
                 self.bonded(sys, state, out);
+                self.trace.end_span(Phase::Bonded, RANK_MAIN, t0);
             }
             Decomposition::Nodes(_) => self.rank_fanout(sys, state, out, true),
         }
@@ -371,23 +482,39 @@ impl ForcePipeline {
     /// [`ExchangeCounters`] per long-range step.
     pub fn long_range(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
         if self.ranks.is_none() {
+            let t0 = self.trace.now_ns();
             self.reciprocal(sys, state, out);
+            self.trace.end_span(Phase::Reciprocal, RANK_MAIN, t0);
+            let t0 = self.trace.now_ns();
             self.corrections(sys, state, out);
+            self.trace.end_span(Phase::Correction, RANK_MAIN, t0);
             return;
         }
         let n = sys.n_atoms();
         state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
-        {
-            // Long-range steps normally follow a short-range evaluation
-            // that already re-homed atoms for these positions; only meter
-            // a fresh exchange step when called standalone.
+        // Long-range steps normally follow a short-range evaluation that
+        // already re-homed atoms for these positions; only meter a fresh
+        // exchange step when called standalone.
+        let before = self.counters;
+        let t0 = self.trace.now_ns();
+        let freshly_prepared = {
             let rs = self.ranks.as_mut().expect("rank set checked above");
-            if !rs.is_prepared(n) {
+            if rs.is_prepared(n) {
+                false
+            } else {
                 rs.prepare(state, &mut self.counters);
+                true
             }
+        };
+        if freshly_prepared {
+            self.trace.end_span(Phase::ReHome, RANK_MAIN, t0);
+            self.meter_since(before);
         }
         let n_mesh = self.gse.mesh.len();
         let n_ranks = self.ranks.as_ref().map_or(0, RankSet::rank_count);
+        // Umbrella span over the whole distributed reciprocal evaluation;
+        // the Spread/MeshMerge/Fft*/Interpolate sub-phases nest inside it.
+        let t_recip = self.trace.now_ns();
         let mut lr = std::mem::take(&mut self.lr_scratch);
         lr.resize_with(n_ranks, LrRank::empty);
         for s in &mut lr {
@@ -401,6 +528,10 @@ impl ForcePipeline {
         }
         let mut gs = std::mem::take(&mut self.gse_scratch);
         gs.begin(n_mesh);
+        // Trunk-phase timestamps, collected inside the shared-borrow block
+        // and turned into spans once `self` is mutable again.
+        let mut merge_span = (0u64, 0u64);
+        let mut fft_marks = [0u64; 4];
         {
             let this = &*self;
             let rs = this.ranks.as_ref().expect("rank set checked above");
@@ -412,24 +543,42 @@ impl ForcePipeline {
             };
             // 1. Per-rank charge spreading into private meshes.
             this.pool.run(&mut lr, |r, s| {
+                let t = this.trace.now_ns();
                 this.gse.spread_into(view(r), &mut s.rho, &mut s.stencil);
+                if this.trace.is_on() {
+                    s.lane.push(Phase::Spread, t, this.trace.now_ns());
+                }
             });
             // 2. Serial rank-ordered wrapping merge of the charge meshes
             //    (the modeled charge-halo exchange).
+            merge_span.0 = this.trace.now_ns();
             for s in &lr {
                 for (a, &b) in gs.rho_q.iter_mut().zip(&s.rho) {
                     *a = a.wrapping_add(b);
                 }
             }
+            merge_span.1 = this.trace.now_ns();
             // 3. FFT trunk on the calling thread, overlapped with the
             //    per-rank correction pairs on the pool.
+            let marks = &mut fft_marks;
             this.pool.run_overlapped(
                 &mut lr,
-                |r, s| this.rank_corrections(sys, state, rs, r, &mut s.forces),
-                || this.gse.transform(&mut gs),
+                |r, s| {
+                    let t = this.trace.now_ns();
+                    this.rank_corrections(sys, state, rs, r, &mut s.forces);
+                    if this.trace.is_on() {
+                        s.lane.push(Phase::Correction, t, this.trace.now_ns());
+                    }
+                },
+                || {
+                    this.gse.transform_marked(&mut gs, &mut |stage| {
+                        marks[stage as usize] = this.trace.now_ns();
+                    })
+                },
             );
             // 4. Per-rank force interpolation from the shared potential.
             this.pool.run(&mut lr, |r, s| {
+                let t = this.trace.now_ns();
                 let phi = &gs.phi_q;
                 let e = this.gse.interpolate_into(
                     view(r),
@@ -439,16 +588,34 @@ impl ForcePipeline {
                     &mut s.stencil,
                 );
                 s.forces.e_reciprocal = s.forces.e_reciprocal.wrapping_add(e);
+                if this.trace.is_on() {
+                    s.lane.push(Phase::Interpolate, t, this.trace.now_ns());
+                }
             });
         }
         self.gse_scratch = gs;
         self.lr_scratch = lr;
+        if self.trace.is_on() {
+            self.trace
+                .push_span(Phase::MeshMerge, RANK_MAIN, merge_span.0, merge_span.1);
+            self.trace
+                .push_span(Phase::FftForward, RANK_MAIN, fft_marks[0], fft_marks[1]);
+            self.trace
+                .push_span(Phase::FftGreen, RANK_MAIN, fft_marks[1], fft_marks[2]);
+            self.trace
+                .push_span(Phase::FftInverse, RANK_MAIN, fft_marks[2], fft_marks[3]);
+        }
+        self.trace
+            .merge_lanes(self.lr_scratch.iter_mut().map(|s| &mut s.lane));
         for s in &self.lr_scratch {
             out.merge_from(&s.forces);
         }
+        self.trace.end_span(Phase::Reciprocal, RANK_MAIN, t_recip);
+        let before = self.counters;
         if let Some(me) = &self.mesh_exchange {
             me.record_lr_step(&mut self.counters);
         }
+        self.meter_since(before);
     }
 
     fn range_limited_cellgrid(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
@@ -464,15 +631,18 @@ impl ForcePipeline {
     /// Detach the per-rank scratch accumulators, sized and zeroed.
     /// (Taken out of `self` so the fan-out can borrow `self` shared while
     /// the pool mutates the buffers.)
-    fn take_scratch(&mut self, n_atoms: usize) -> Vec<RawForces> {
+    fn take_scratch(&mut self, n_atoms: usize) -> Vec<RankScratch> {
         let n_ranks = self.ranks.as_ref().map_or(0, RankSet::rank_count);
         let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.resize_with(n_ranks, || RawForces::zeroed(n_atoms));
+        scratch.resize_with(n_ranks, || RankScratch {
+            forces: RawForces::zeroed(n_atoms),
+            lane: Lane::new(),
+        });
         for s in &mut scratch {
-            if s.f.len() == n_atoms {
-                s.clear();
+            if s.forces.f.len() == n_atoms {
+                s.forces.clear();
             } else {
-                *s = RawForces::zeroed(n_atoms);
+                s.forces = RawForces::zeroed(n_atoms);
             }
         }
         scratch
@@ -480,7 +650,8 @@ impl ForcePipeline {
 
     /// Execute the short-range work per rank: re-home atoms, meter the
     /// exchange plan, fan the ranks out over the pool into private
-    /// accumulators, and merge them in fixed rank order.
+    /// accumulators, and merge them in fixed rank order (the trace lanes
+    /// merge in the same order, so recorded structure is deterministic).
     fn rank_fanout(
         &mut self,
         sys: &System,
@@ -488,6 +659,8 @@ impl ForcePipeline {
         out: &mut RawForces,
         with_bonded: bool,
     ) {
+        let before = self.counters;
+        let t0 = self.trace.now_ns();
         {
             let rs = self
                 .ranks
@@ -495,6 +668,8 @@ impl ForcePipeline {
                 .expect("rank fan-out without a rank set");
             rs.prepare(state, &mut self.counters);
         }
+        self.trace.end_span(Phase::ReHome, RANK_MAIN, t0);
+        self.meter_since(before);
         if with_bonded {
             state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
         }
@@ -502,14 +677,24 @@ impl ForcePipeline {
         let this = &*self;
         let rs = this.ranks.as_ref().expect("rank set checked above");
         this.pool.run(&mut scratch, |r, buf| {
-            this.rank_pairs(sys, state, rs, r, buf);
+            let t = this.trace.now_ns();
+            this.rank_pairs(sys, state, rs, r, &mut buf.forces);
+            if this.trace.is_on() {
+                buf.lane.push(Phase::RangeLimited, t, this.trace.now_ns());
+            }
             if with_bonded {
-                this.rank_bonded(sys, rs, r, buf);
+                let t = this.trace.now_ns();
+                this.rank_bonded(sys, rs, r, &mut buf.forces);
+                if this.trace.is_on() {
+                    buf.lane.push(Phase::Bonded, t, this.trace.now_ns());
+                }
             }
         });
         self.scratch = scratch;
+        self.trace
+            .merge_lanes(self.scratch.iter_mut().map(|s| &mut s.lane));
         for s in &self.scratch {
-            out.merge_from(s);
+            out.merge_from(&s.forces);
         }
     }
 

@@ -8,7 +8,7 @@
 /// Crates on the simulation path: wall-clock reads (D4) and parallel
 /// reductions (D5) are policed here.
 pub const DET_CRATES: &[&str] = &[
-    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core",
+    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace",
 ];
 
 /// Crates where unordered-container iteration (D2) is policed. `systems`

@@ -101,6 +101,29 @@ fn d5_flags_unordered_pencil_merge() {
 }
 
 #[test]
+fn trace_crate_is_on_the_simulation_path() {
+    // The trace crate joined DET_CRATES: an unsanctioned wall-clock read
+    // there is a D4 violation like anywhere else in the deterministic core.
+    let hits = rules_hit("crates/trace/src/bad.rs", "fail_trace_wallclock.rs");
+    assert_eq!(hits, [("D4".into(), 5), ("D4".into(), 8)]);
+}
+
+#[test]
+fn sanctioned_trace_shape_passes() {
+    // The shape the real `anton-trace` uses: one audited clock origin
+    // behind an allow(D4), integer timestamps in per-rank lanes, serial
+    // rank-ordered merge after the scoped fan-out.
+    let lint = lint_source(
+        "crates/trace/src/good.rs",
+        &fixture("pass_trace_rank_merge.rs"),
+    );
+    assert_eq!(lint.violations, []);
+    assert_eq!(lint.allows.len(), 1);
+    assert_eq!(lint.allows[0].rule, "D4");
+    assert!(!lint.allows[0].reason.is_empty());
+}
+
+#[test]
 fn meta_flags_malformed_directives() {
     let hits = rules_hit("crates/core/src/bad.rs", "fail_meta_directives.rs");
     let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();

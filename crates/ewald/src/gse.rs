@@ -332,6 +332,21 @@ pub const MESH_FRAC: u32 = 40;
 /// Fraction bits of the quantized Green coefficients.
 pub const GREEN_FRAC: u32 = 24;
 
+/// Sub-stage boundaries of the mesh trunk, reported by
+/// [`GseFixed::transform_marked`] in this order. The discriminant doubles
+/// as an index for observers collecting per-stage timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransformStage {
+    /// Charge mesh loaded into the complex grid; forward FFT about to run.
+    Begin = 0,
+    /// Forward transform done; Green multiply about to run.
+    ForwardDone = 1,
+    /// Green multiply done; inverse transform about to run.
+    GreenDone = 2,
+    /// Inverse transform done; potential mesh about to be extracted.
+    InverseDone = 3,
+}
+
 /// One rank's view of its resident atoms for the mesh phase: the shared
 /// position/charge arrays plus the indices of the atoms this rank spreads
 /// and interpolates (its home-box population under the decomposition).
@@ -525,15 +540,28 @@ impl GseFixed {
     /// shift), inverse fixed FFT; leaves the potential mesh in `s.phi_q`.
     /// Allocation-free in steady state.
     pub fn transform(&self, s: &mut GseScratch) {
+        self.transform_marked(s, &mut |_| {});
+    }
+
+    /// [`Self::transform`] with sub-stage boundaries reported through
+    /// `mark`, so an observer (the tracing layer) can time the forward
+    /// transform, the Green multiply, and the inverse transform separately
+    /// without this crate knowing about clocks. `mark` receives each
+    /// [`TransformStage`] exactly once, in order.
+    pub fn transform_marked(&self, s: &mut GseScratch, mark: &mut dyn FnMut(TransformStage)) {
         s.grid.clear();
         s.grid.extend(s.rho_q.iter().map(|&r| FxComplex::new(r, 0)));
+        mark(TransformStage::Begin);
         self.fft.forward(&mut s.grid, &mut s.line);
+        mark(TransformStage::ForwardDone);
         let shift = GREEN_FRAC.saturating_sub(self.log2n);
         for (g, &gq) in s.grid.iter_mut().zip(&self.green_q) {
             g.re = anton_fixpoint::rne_shr_i128(g.re as i128 * gq as i128, shift);
             g.im = anton_fixpoint::rne_shr_i128(g.im as i128 * gq as i128, shift);
         }
+        mark(TransformStage::GreenDone);
         self.fft.inverse(&mut s.grid, &mut s.line);
+        mark(TransformStage::InverseDone);
         s.phi_q.clear();
         s.phi_q.extend(s.grid.iter().map(|c| c.re));
     }

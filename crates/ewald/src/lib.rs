@@ -26,6 +26,8 @@ pub mod mesh;
 pub mod spme;
 
 pub use direct::{DirectKernel, PairClass};
-pub use gse::{GseFixed, GseParams, GseReference, GseScratch, MeshAtoms, SupportScratch};
+pub use gse::{
+    GseFixed, GseParams, GseReference, GseScratch, MeshAtoms, SupportScratch, TransformStage,
+};
 pub use mesh::Mesh;
 pub use spme::Spme;

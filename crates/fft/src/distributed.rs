@@ -44,6 +44,11 @@ pub struct CommStats {
 }
 
 impl CommStats {
+    /// The statistics of one axis pass (0 = x, 1 = y, 2 = z).
+    pub fn pass(&self, axis: usize) -> &PassStats {
+        &self.passes[axis]
+    }
+
     /// Messages sent by the busiest node over the whole transform.
     pub fn messages_max_node(&self) -> u64 {
         self.passes.iter().map(|p| p.messages_max_node).sum()

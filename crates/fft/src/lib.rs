@@ -24,6 +24,9 @@ pub mod fft3d;
 pub mod fixed;
 
 pub use complex::Complex;
-pub use distributed::{CommStats, DistributedFft3d, FxDistributedFft3d};
+pub use distributed::{
+    pencil_pass_stats, CommStats, DistributedFft3d, FxDistributedFft3d, PassStats,
+    FX_BYTES_PER_POINT,
+};
 pub use fft1d::Fft1d;
 pub use fft3d::Fft3d;

@@ -27,9 +27,9 @@ pub mod tables;
 pub mod topology;
 
 pub use config::MachineConfig;
-pub use exchange::{ExchangePlan, Link, MeshExchange};
+pub use exchange::{ExchangePlan, Link, MeshExchange, FORCE_BYTES, MESH_BYTES, POS_BYTES};
 pub use htis::{HtisRun, HtisSim};
-pub use perf::{ExchangeCounters, PerfModel, StepBreakdown, SystemStats};
+pub use perf::{modeled_burst_us, ExchangeCounters, PerfModel, StepBreakdown, SystemStats};
 pub use ppip::{MatchUnit, Ppip};
 pub use ring::{Ring, Station};
 pub use tables::{FunctionTable, TableSpec};

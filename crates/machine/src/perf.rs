@@ -149,6 +149,34 @@ impl ExchangeCounters {
         self.mesh_halo_bytes as f64 / self.lr_steps as f64 / n_ranks as f64
     }
 
+    /// Field-wise difference `self − earlier`: the traffic metered between
+    /// two snapshots of the same counter set, for attributing a burst of
+    /// communication to the pipeline phase that emitted it. Saturating, so
+    /// mismatched snapshots degrade to zero rather than wrapping.
+    pub fn delta_since(&self, earlier: &ExchangeCounters) -> ExchangeCounters {
+        ExchangeCounters {
+            steps: self.steps.saturating_sub(earlier.steps),
+            import_messages: self.import_messages.saturating_sub(earlier.import_messages),
+            import_atoms: self.import_atoms.saturating_sub(earlier.import_atoms),
+            import_bytes: self.import_bytes.saturating_sub(earlier.import_bytes),
+            import_hop_bytes: self
+                .import_hop_bytes
+                .saturating_sub(earlier.import_hop_bytes),
+            reduce_messages: self.reduce_messages.saturating_sub(earlier.reduce_messages),
+            reduce_bytes: self.reduce_bytes.saturating_sub(earlier.reduce_bytes),
+            reduce_hop_bytes: self
+                .reduce_hop_bytes
+                .saturating_sub(earlier.reduce_hop_bytes),
+            lr_steps: self.lr_steps.saturating_sub(earlier.lr_steps),
+            fft_messages: self.fft_messages.saturating_sub(earlier.fft_messages),
+            fft_bytes: self.fft_bytes.saturating_sub(earlier.fft_bytes),
+            mesh_halo_messages: self
+                .mesh_halo_messages
+                .saturating_sub(earlier.mesh_halo_messages),
+            mesh_halo_bytes: self.mesh_halo_bytes.saturating_sub(earlier.mesh_halo_bytes),
+        }
+    }
+
     /// Modeled per-step communication time (µs) on `cfg`'s links: per-rank
     /// serialization through the node's channels, wire latency of the mean
     /// hop distance, and per-message overhead. Covers all three force
@@ -163,6 +191,33 @@ impl ExchangeCounters {
             + msgs_per_rank_step * cfg.message_overhead_s;
         wire_s * 1e6
     }
+}
+
+/// Modeled wire time (µs) of one traffic burst on `cfg`'s links: `bytes`
+/// over `messages` messages spread across `n_ranks` injecting ranks, with
+/// `hop_bytes` the hop-weighted volume (pass `bytes` for nearest-neighbor
+/// traffic like mesh halos and FFT pencil segments). The per-burst analogue
+/// of [`ExchangeCounters::modeled_step_comm_us`], used by the tracing layer
+/// to attribute modeled link time to the emitting pipeline phase.
+pub fn modeled_burst_us(
+    cfg: &MachineConfig,
+    n_ranks: usize,
+    messages: u64,
+    bytes: u64,
+    hop_bytes: u64,
+) -> f64 {
+    if n_ranks == 0 || (messages == 0 && bytes == 0) {
+        return 0.0;
+    }
+    let mean_hops = if bytes == 0 {
+        0.0
+    } else {
+        hop_bytes as f64 / bytes as f64
+    };
+    let wire_s = bytes as f64 / n_ranks as f64 / cfg.node_bandwidth_bytes()
+        + mean_hops * cfg.hop_latency_s
+        + messages as f64 / n_ranks as f64 * cfg.message_overhead_s;
+    wire_s * 1e6
 }
 
 /// Calibration constants (see module docs).

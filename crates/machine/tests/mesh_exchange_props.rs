@@ -1,0 +1,163 @@
+//! Property tests for the static long-range communication plans: the
+//! [`MeshExchange`] halo geometry against a brute-force enumeration of the
+//! wrapped mesh, and the distributed FFT's [`pencil_pass_stats`] against
+//! exact accounting identities.
+//!
+//! These plans are pure functions of the mesh/node geometry — no simulation
+//! data flows through them — so every claim here is checkable by direct
+//! counting. The performance model (and now the trace subsystem's modeled
+//! µs attribution) trusts these numbers; this file is what that trust
+//! rests on.
+//!
+//! Divisibility (`nodes[a] | mesh[a]`) is guaranteed by sampling the node
+//! count and the per-node slab size independently and multiplying, rather
+//! than by filtering — the vendored proptest stand-in has no `prop_map`.
+
+use std::collections::BTreeSet;
+
+use anton_fft::{pencil_pass_stats, FxDistributedFft3d, FX_BYTES_PER_POINT};
+use anton_machine::{ExchangeCounters, MeshExchange, MESH_BYTES};
+use proptest::prelude::*;
+
+/// Brute-force halo census: enumerate every point of the dilated slab
+/// `[-h, s+h)³`, wrap it onto the mesh, and count (a) distinct wrapped
+/// points outside the home slab and (b) distinct remote slab owners.
+/// Slabs partition the wrapped mesh, so each point lands on exactly one
+/// owner by construction.
+fn brute_force_halo(mesh: [usize; 3], nodes: [usize; 3], halo: [usize; 3]) -> (u64, u64) {
+    let s: [i64; 3] = std::array::from_fn(|a| (mesh[a] / nodes[a]) as i64);
+    let mut points: BTreeSet<[i64; 3]> = BTreeSet::new();
+    let mut owners: BTreeSet<[i64; 3]> = BTreeSet::new();
+    for x in -(halo[0] as i64)..s[0] + halo[0] as i64 {
+        for y in -(halo[1] as i64)..s[1] + halo[1] as i64 {
+            for z in -(halo[2] as i64)..s[2] + halo[2] as i64 {
+                let w = [
+                    x.rem_euclid(mesh[0] as i64),
+                    y.rem_euclid(mesh[1] as i64),
+                    z.rem_euclid(mesh[2] as i64),
+                ];
+                let owner = [w[0] / s[0], w[1] / s[1], w[2] / s[2]];
+                for a in 0..3 {
+                    assert!((owner[a] as usize) < nodes[a], "owner outside node grid");
+                }
+                points.insert(w);
+                owners.insert(owner);
+            }
+        }
+    }
+    let home_slab = (s[0] * s[1] * s[2]) as u64;
+    let halo_points = points.len() as u64 - home_slab;
+    let neighbors = owners.len() as u64 - 1; // home owner always present
+    (halo_points, neighbors)
+}
+
+proptest! {
+    /// The closed-form halo point and neighbor counts of [`MeshExchange`]
+    /// agree with the brute-force wrapped enumeration for every valid
+    /// (mesh, node grid, stencil reach) combination — including the
+    /// wrap-around regimes where the dilated slab covers the whole axis.
+    #[test]
+    fn halo_census_matches_brute_force(
+        nx in 1usize..5, sx in 1usize..7, hx in 0usize..5,
+        ny in 1usize..5, sy in 1usize..7, hy in 0usize..5,
+        nz in 1usize..5, sz in 1usize..7, hz in 0usize..5,
+    ) {
+        let nodes = [nx, ny, nz];
+        let mesh = [nx * sx, ny * sy, nz * sz];
+        let halo = [hx, hy, hz];
+        let me = MeshExchange::new(mesh, nodes, halo, 0, 0);
+        let (points, neighbors) = brute_force_halo(mesh, nodes, halo);
+        prop_assert_eq!(me.halo_points_per_rank(), points,
+            "halo points: mesh {:?} nodes {:?} halo {:?}", mesh, nodes, halo);
+        prop_assert_eq!(me.halo_neighbors_per_rank(), neighbors,
+            "halo neighbors: mesh {:?} nodes {:?} halo {:?}", mesh, nodes, halo);
+    }
+
+    /// Pencil-pass accounting identities: every line along the axis has
+    /// exactly `g_axis - 1` non-owner segments, each gathered and scattered
+    /// once, and every message carries one segment of `n/g` points.
+    #[test]
+    fn pencil_pass_accounting(
+        nx in 1usize..5, sx in 1usize..7,
+        ny in 1usize..5, sy in 1usize..7,
+        nz in 1usize..5, sz in 1usize..7,
+        axis_idx in 0usize..3, bytes_per_point in 1u64..17,
+    ) {
+        let nodes = [nx, ny, nz];
+        let mesh = [nx * sx, ny * sy, nz * sz];
+        let p = pencil_pass_stats(mesh, nodes, bytes_per_point, axis_idx);
+
+        let g = nodes[axis_idx] as u64;
+        let (u, v) = match axis_idx { 0 => (1, 2), 1 => (0, 2), _ => (0, 1) };
+        let lines = (mesh[u] * mesh[v]) as u64;
+        let seg_bytes = (mesh[axis_idx] / nodes[axis_idx]) as u64 * bytes_per_point;
+
+        prop_assert_eq!(p.messages_total, 2 * lines * (g - 1));
+        prop_assert_eq!(p.bytes_total, p.messages_total * seg_bytes);
+        prop_assert_eq!(p.bytes_max_node, p.messages_max_node * seg_bytes);
+        // The busiest node carries at least the mean load...
+        let node_count = (nodes[0] * nodes[1] * nodes[2]) as u64;
+        prop_assert!(p.messages_max_node * node_count >= p.messages_total);
+        // ...and no node can exceed every message in the pass.
+        prop_assert!(p.messages_max_node <= p.messages_total);
+        // Single node along the axis: lines never leave their owner.
+        if g == 1 {
+            prop_assert_eq!(p.messages_total, 0);
+            prop_assert_eq!(p.messages_max_node, 0);
+        }
+    }
+
+    /// The fixed-point distributed FFT reports exactly the statically
+    /// computed pass statistics — the numbers the trace's modeled-µs
+    /// attribution divides between the forward and inverse transforms.
+    #[test]
+    fn fx_fft_stats_equal_static_pass_stats(
+        jx in 0u32..3, kx in 1u32..4,
+        jy in 0u32..3, ky in 1u32..4,
+        jz in 0u32..3, kz in 1u32..4,
+    ) {
+        let nodes = [1usize << jx, 1usize << jy, 1usize << jz];
+        let mesh = [1usize << (jx + kx), 1usize << (jy + ky), 1usize << (jz + kz)];
+        let fft = FxDistributedFft3d::new(mesh, nodes);
+        for axis_idx in 0..3 {
+            prop_assert_eq!(
+                *fft.stats().pass(axis_idx),
+                pencil_pass_stats(mesh, nodes, FX_BYTES_PER_POINT, axis_idx),
+                "axis {} of mesh {:?} on nodes {:?}", axis_idx, mesh, nodes
+            );
+        }
+    }
+
+    /// `record_lr_step` meters both directions of the halo exchange and
+    /// both transforms of the step, linearly in the step count.
+    #[test]
+    fn record_lr_step_accounting(
+        nx in 1usize..5, sx in 1usize..7, hx in 0usize..5,
+        ny in 1usize..5, sy in 1usize..7, hy in 0usize..5,
+        nz in 1usize..5, sz in 1usize..7, hz in 0usize..5,
+        fft_msgs in 0u64..10_000, fft_bytes in 0u64..1_000_000,
+        steps in 1u64..5,
+    ) {
+        let nodes = [nx, ny, nz];
+        let mesh = [nx * sx, ny * sy, nz * sz];
+        let halo = [hx, hy, hz];
+        let me = MeshExchange::new(mesh, nodes, halo, fft_msgs, fft_bytes);
+        let ranks = (nodes[0] * nodes[1] * nodes[2]) as u64;
+
+        let mut c = ExchangeCounters::default();
+        for _ in 0..steps {
+            me.record_lr_step(&mut c);
+        }
+        prop_assert_eq!(c.lr_steps, steps);
+        prop_assert_eq!(c.mesh_halo_messages,
+            steps * 2 * ranks * me.halo_neighbors_per_rank());
+        prop_assert_eq!(c.mesh_halo_bytes,
+            steps * 2 * ranks * me.halo_points_per_rank() * MESH_BYTES);
+        prop_assert_eq!(c.fft_messages, steps * 2 * fft_msgs);
+        prop_assert_eq!(c.fft_bytes, steps * 2 * fft_bytes);
+        // Only long-range fields move; the short-range phases stay silent.
+        prop_assert_eq!(c.steps, 0);
+        prop_assert_eq!(c.import_messages, 0);
+        prop_assert_eq!(c.reduce_messages, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! chrome://tracing (Trace Event Format) exporter.
+//!
+//! Mapping: one *process* per simulated node (`pid = rank + 1`; the trunk
+//! thread — integration, FFT, merges — is `pid 0`), a single thread lane
+//! per process (`tid = 0`). Spans become complete (`"X"`) events with
+//! microsecond `ts`/`dur`; counters become `"C"` events so the modeled
+//! byte volume plots as a track under the phase lanes. The output is a
+//! plain JSON array loadable by `chrome://tracing` and Perfetto.
+
+use crate::event::RANK_MAIN;
+use crate::sink::TraceBuf;
+
+fn pid_of(rank: u32) -> u64 {
+    if rank == RANK_MAIN {
+        0
+    } else {
+        u64::from(rank) + 1
+    }
+}
+
+fn push_name_meta(out: &mut String, pid: u64, name: &str) {
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{name}\"}}}}"
+    ));
+}
+
+/// Serialize a recorded buffer as a Trace Event Format JSON array.
+pub fn chrome_trace_json(buf: &TraceBuf) -> String {
+    let mut out = String::with_capacity(128 + buf.spans().len() * 128);
+    out.push('[');
+
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Process-name metadata: the trunk plus every rank that appears.
+    let mut max_rank: Option<u32> = None;
+    let mut has_main = false;
+    for s in buf.spans() {
+        if s.rank == RANK_MAIN {
+            has_main = true;
+        } else {
+            max_rank = Some(max_rank.map_or(s.rank, |m| m.max(s.rank)));
+        }
+    }
+    if has_main {
+        sep(&mut out);
+        push_name_meta(&mut out, 0, "trunk");
+    }
+    if let Some(max_rank) = max_rank {
+        for rank in 0..=max_rank {
+            sep(&mut out);
+            push_name_meta(&mut out, pid_of(rank), &format!("node {rank}"));
+        }
+    }
+
+    for s in buf.spans() {
+        sep(&mut out);
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = s.duration_ns() as f64 / 1e3;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":{},\"tid\":0,\
+             \"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"step\":{}}}}}",
+            s.phase.name(),
+            pid_of(s.rank),
+            s.step,
+        ));
+    }
+
+    for c in buf.counters() {
+        sep(&mut out);
+        // Anchor the counter sample at the step index (µs scale is
+        // irrelevant for "C" tracks; monotone placement is what matters).
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"comm\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\
+             \"ts\":{},\"args\":{{\"messages\":{},\"bytes\":{},\"modeled_us\":{:.3}}}}}",
+            c.name,
+            pid_of(c.rank),
+            c.step,
+            c.messages,
+            c.bytes,
+            c.modeled_us,
+        ));
+    }
+
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn export_is_a_json_array_with_one_event_per_span_and_counter() {
+        let mut s = TraceSink::with_capacity(16, 16);
+        s.set_step(3);
+        s.push_span(Phase::Step, RANK_MAIN, 0, 5000);
+        s.push_span(Phase::Spread, 0, 1000, 2000);
+        s.push_span(Phase::Spread, 1, 1000, 2100);
+        s.counter("halo", Phase::MeshMerge, 6, 4800, 2.5);
+        let json = chrome_trace_json(s.buf().unwrap());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
+        // trunk + node 0 + node 1 metadata
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        // Trunk maps to pid 0, rank r to pid r+1.
+        assert!(json.contains("\"name\":\"step\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0"));
+        assert!(json.contains("\"name\":\"spread\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":2"));
+        assert!(json.contains("\"args\":{\"step\":3}"));
+    }
+
+    #[test]
+    fn empty_buffer_exports_an_empty_array() {
+        let s = TraceSink::with_capacity(4, 4);
+        assert_eq!(chrome_trace_json(s.buf().unwrap()), "[]");
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic per-phase summary: the aggregate view the perf gate diffs.
+
+use crate::event::Phase;
+use crate::sink::TraceBuf;
+
+/// Aggregates for one phase over a whole recorded run. The *deterministic*
+/// columns (`spans`, `messages`, `bytes`, `modeled_us`) are pure functions
+/// of the simulation configuration; only `measured_ns` varies with the
+/// host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseRow {
+    pub phase: Phase,
+    /// Number of recorded spans of this phase.
+    pub spans: u64,
+    /// Total measured wall-clock nanoseconds across those spans.
+    pub measured_ns: u64,
+    /// Total metered messages attributed to this phase.
+    pub messages: u64,
+    /// Total metered bytes attributed to this phase.
+    pub bytes: u64,
+    /// Total modeled wire time attributed to this phase (µs).
+    pub modeled_us: f64,
+}
+
+/// Aggregate a recorded buffer into one row per phase, in the canonical
+/// [`Phase::ALL`] order. Phases that never fired still get a (zeroed) row,
+/// so the table shape is independent of the run configuration.
+pub fn phase_summary(buf: &TraceBuf) -> Vec<PhaseRow> {
+    let mut rows: Vec<PhaseRow> = Phase::ALL
+        .iter()
+        .map(|&phase| PhaseRow {
+            phase,
+            spans: 0,
+            measured_ns: 0,
+            messages: 0,
+            bytes: 0,
+            modeled_us: 0.0,
+        })
+        .collect();
+    for s in buf.spans() {
+        let row = &mut rows[s.phase.index()];
+        row.spans += 1;
+        row.measured_ns += s.duration_ns();
+    }
+    for c in buf.counters() {
+        let row = &mut rows[c.phase.index()];
+        row.messages += c.messages;
+        row.bytes += c.bytes;
+        row.modeled_us += c.modeled_us;
+    }
+    rows
+}
+
+/// Render the summary as a fixed-width text table. Row order and formatting
+/// are deterministic; the measured column is the only host-dependent part.
+pub fn summary_table(rows: &[PhaseRow]) -> String {
+    let mut out = String::with_capacity(rows.len() * 80 + 160);
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>14} {:>10} {:>12} {:>12}\n",
+        "phase", "spans", "measured_ms", "messages", "bytes", "modeled_us"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14.3} {:>10} {:>12} {:>12.3}\n",
+            r.phase.name(),
+            r.spans,
+            r.measured_ns as f64 / 1e6,
+            r.messages,
+            r.bytes,
+            r.modeled_us,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RANK_MAIN;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn summary_covers_every_phase_in_canonical_order() {
+        let mut s = TraceSink::with_capacity(16, 16);
+        s.push_span(Phase::Spread, 0, 100, 400);
+        s.push_span(Phase::Spread, 1, 120, 270);
+        s.push_span(Phase::Step, RANK_MAIN, 0, 1000);
+        s.counter("halo", Phase::MeshMerge, 6, 4800, 2.5);
+        let rows = phase_summary(s.buf().unwrap());
+        assert_eq!(rows.len(), Phase::ALL.len());
+        for (row, phase) in rows.iter().zip(Phase::ALL) {
+            assert_eq!(row.phase, phase);
+        }
+        let spread = rows[Phase::Spread.index()];
+        assert_eq!(spread.spans, 2);
+        assert_eq!(spread.measured_ns, 300 + 150);
+        let merge = rows[Phase::MeshMerge.index()];
+        assert_eq!(merge.spans, 0);
+        assert_eq!((merge.messages, merge.bytes), (6, 4800));
+        assert!((merge.modeled_us - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_one_line_per_phase_plus_header() {
+        let s = TraceSink::with_capacity(4, 4);
+        let rows = phase_summary(s.buf().unwrap());
+        let table = summary_table(&rows);
+        assert_eq!(table.lines().count(), Phase::ALL.len() + 1);
+        assert!(table.starts_with("phase"));
+        assert!(table.contains("range_limited"));
+    }
+}

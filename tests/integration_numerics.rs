@@ -63,18 +63,30 @@ fn full_engine_is_parallel_invariant_with_all_force_classes() {
 
 #[test]
 fn full_engine_reversibility_without_constraints() {
-    // Paper §4: exact reversibility holds without constraints/thermostat.
-    let mut sys = mini_protein_system(7);
-    sys.topology.constraint_groups.clear();
-    let mut sim = AntonSimulation::builder(sys)
-        .velocities_from_temperature(200.0, 17)
-        .build();
-    let x0 = sim.state.clone();
-    sim.run_cycles(10);
-    sim.negate_velocities();
-    sim.run_cycles(10);
-    sim.negate_velocities();
-    assert_eq!(sim.state, x0);
+    // Paper §4: exact reversibility holds without constraints/thermostat —
+    // on a single rank and equally on a decomposed, multi-threaded engine
+    // (the rank fan-out only reorders wrapping adds, which cancel exactly
+    // under velocity negation too).
+    let reverse_run = |decomposition, threads| {
+        let mut sys = mini_protein_system(7);
+        sys.topology.constraint_groups.clear();
+        let mut sim = AntonSimulation::builder(sys)
+            .velocities_from_temperature(200.0, 17)
+            .decomposition(decomposition)
+            .threads(threads)
+            .build();
+        let x0 = sim.state.clone();
+        sim.run_cycles(10);
+        sim.negate_velocities();
+        sim.run_cycles(10);
+        sim.negate_velocities();
+        assert_eq!(
+            sim.state, x0,
+            "reversibility violated: {decomposition:?}, {threads} threads"
+        );
+    };
+    reverse_run(Decomposition::SingleRank, 1);
+    reverse_run(Decomposition::Nodes(8), 4);
 }
 
 #[test]
