@@ -192,6 +192,20 @@ fn gate_trace(g: &mut Gate, base: &Json, cur: &Json) {
             g.modeled(&pctx, "modeled_us", bp, cp);
         }
     }
+    // Checkpoint cost of the traced 8-node row: the snapshot encoding is
+    // deterministic, so file count and bytes written gate exactly;
+    // serialize+write time is host wall-clock and gates at the measured
+    // tier only.
+    match (base.get("checkpoint"), cur.get("checkpoint")) {
+        (Some(b), Some(c)) => {
+            g.exact_u64("trace.checkpoint", "files", b, c);
+            g.exact_u64("trace.checkpoint", "bytes_written", b, c);
+            g.measured("trace.checkpoint", "serialize_us", b, c);
+        }
+        _ => g
+            .failures
+            .push("trace: missing 'checkpoint' section".into()),
+    }
 }
 
 fn update_baseline() {

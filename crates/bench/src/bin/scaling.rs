@@ -140,7 +140,16 @@ struct TraceRow {
     phases: Vec<PhaseRow>,
 }
 
-fn write_trace_json(path: &str, sys: &System, cycles: usize, rows: &[TraceRow]) {
+/// Checkpoint cost of the traced 8-node row: file/byte counts are exact
+/// (the snapshot encoding is deterministic), serialize+write time is
+/// measured wall-clock from the `checkpoint` trace phase.
+struct CkptStats {
+    files: u64,
+    bytes_written: u64,
+    serialize_us: f64,
+}
+
+fn write_trace_json(path: &str, sys: &System, cycles: usize, rows: &[TraceRow], ckpt: &CkptStats) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"trace-scaling/v1\",\n");
@@ -169,7 +178,13 @@ fn write_trace_json(path: &str, sys: &System, cycles: usize, rows: &[TraceRow]) 
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"checkpoint\": {{\"files\": {}, \"bytes_written\": {}, \"serialize_us\": {}}}\n",
+        ckpt.files,
+        ckpt.bytes_written,
+        json_escape_free(ckpt.serialize_us),
+    ));
     s.push_str("}\n");
     if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &s)) {
         eprintln!("warning: could not write {path}: {e}");
@@ -184,25 +199,59 @@ fn write_trace_json(path: &str, sys: &System, cycles: usize, rows: &[TraceRow]) 
 /// `results/TRACE_scaling.json` for the perf gate, and the chrome-trace of
 /// the 8-node run goes to `results/TRACE_chrome.json` (gitignored; open in
 /// chrome://tracing or Perfetto). Returns the rows for the invariance check.
-fn traced_pass(sys: &System, cycles: usize) -> Vec<TraceRow> {
+fn traced_pass(sys: &System, cycles: usize) -> (Vec<TraceRow>, CkptStats) {
     let mut out = Vec::new();
+    let mut ckpt_stats = CkptStats {
+        files: 0,
+        bytes_written: 0,
+        serialize_us: 0.0,
+    };
     for &(nodes, threads) in &[(1usize, 1usize), (8, 2), (64, 4)] {
         let decomposition = if nodes == 1 && threads == 1 {
             Decomposition::SingleRank
         } else {
             Decomposition::Nodes(nodes)
         };
-        let mut sim = AntonSimulation::builder(sys.clone())
+        let mut builder = AntonSimulation::builder(sys.clone())
             .velocities_from_temperature(300.0, 7)
             .decomposition(decomposition)
             .threads(threads)
-            .tracing(true)
-            .build();
+            .tracing(true);
+        // The 8-node row doubles as the checkpoint-cost probe: write a
+        // rotated checkpoint every 4 cycles and report bytes + time. The
+        // trajectory is unaffected (checkpointing is observability-only),
+        // which the invariance assertion below re-proves every run.
+        let probe_ckpt = nodes == 8;
+        if probe_ckpt {
+            let _ = std::fs::remove_dir_all("target/ckpt_scaling");
+            builder = builder
+                .checkpoint_every(4)
+                .checkpoint_dir("target/ckpt_scaling")
+                .checkpoint_keep(2);
+        }
+        let mut sim = builder.build();
         sim.run_cycles(cycles);
         let buf = sim.trace().buf().expect("tracing was enabled");
         assert_eq!(buf.dropped_spans(), 0, "trace span capacity exceeded");
         assert_eq!(buf.dropped_counters(), 0, "trace counter capacity exceeded");
         let phases = phase_summary(buf);
+        if probe_ckpt {
+            let (files, bytes) = sim
+                .checkpoint_stats()
+                .expect("checkpointing was configured on the 8-node row");
+            let serialize_us = phases
+                .iter()
+                .find(|p| p.phase.name() == "checkpoint")
+                .map_or(0.0, |p| p.measured_ns as f64 / 1e3);
+            ckpt_stats = CkptStats {
+                files,
+                bytes_written: bytes,
+                serialize_us,
+            };
+            println!(
+                "\ncheckpoint probe (8 nodes): {files} files, {bytes} bytes, {serialize_us:.1} µs serialize+write"
+            );
+        }
         println!("\n--- traced: {nodes} nodes, {threads} threads ---");
         print!("{}", summary_table(&phases));
         if nodes == 8 {
@@ -222,8 +271,8 @@ fn traced_pass(sys: &System, cycles: usize) -> Vec<TraceRow> {
             phases,
         });
     }
-    write_trace_json("results/TRACE_scaling.json", sys, cycles, &out);
-    out
+    write_trace_json("results/TRACE_scaling.json", sys, cycles, &out, &ckpt_stats);
+    (out, ckpt_stats)
 }
 
 fn main() {
@@ -317,7 +366,7 @@ fn main() {
         }
     }
 
-    let traced = traced_pass(&sys, cycles);
+    let (traced, _ckpt) = traced_pass(&sys, cycles);
 
     let invariant = rows.iter().all(|r| r.checksum == rows[0].checksum)
         && traced.iter().all(|r| r.checksum == rows[0].checksum);

@@ -1,0 +1,164 @@
+//! The fixed 64-byte file header. Layout (all integers little-endian; see
+//! DESIGN.md §12):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic            b"ANTCKPT1"
+//!      8     4  version          u32 (currently 1)
+//!     12     4  flags            u32 (reserved, 0)
+//!     16     8  step             u64 inner-step counter at capture
+//!     24     8  n_atoms          u64
+//!     32     8  fingerprint      u64 config fingerprint (see fingerprint.rs)
+//!     40     8  payload_len      u64 bytes following the header
+//!     48     8  payload_fnv      u64 FNV-1a of the payload bytes
+//!     56     8  header_fnv       u64 FNV-1a of header bytes 0..56
+//! ```
+//!
+//! Every bit of the header is covered: a flip in the magic or version
+//! fields fails those explicit checks, a flip anywhere else (including in
+//! `header_fnv` itself) fails the header checksum. `header_fnv` is
+//! verified **before** `payload_len` is trusted, so a corrupted length
+//! can never direct the payload scan.
+
+use crate::error::CkptError;
+use crate::fnv::fnv1a;
+
+/// File magic: "ANTon ChecKPoinT", format generation 1.
+pub const MAGIC: [u8; 8] = *b"ANTCKPT1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Total encoded header size in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Byte range covered by `header_fnv`.
+const HASHED_LEN: usize = 56;
+
+/// Decoded header fields (magic and checksums are handled by
+/// [`Header::encode`] / [`Header::decode`], not stored).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    pub version: u32,
+    pub flags: u32,
+    pub step: u64,
+    pub n_atoms: u64,
+    pub fingerprint: u64,
+    pub payload_len: u64,
+    pub payload_fnv: u64,
+}
+
+impl Header {
+    /// Encode to the canonical 64-byte layout, computing `header_fnv`.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..8].copy_from_slice(&MAGIC);
+        b[8..12].copy_from_slice(&self.version.to_le_bytes());
+        b[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        b[16..24].copy_from_slice(&self.step.to_le_bytes());
+        b[24..32].copy_from_slice(&self.n_atoms.to_le_bytes());
+        b[32..40].copy_from_slice(&self.fingerprint.to_le_bytes());
+        b[40..48].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[48..56].copy_from_slice(&self.payload_fnv.to_le_bytes());
+        let h = fnv1a(&b[..HASHED_LEN]);
+        b[56..64].copy_from_slice(&h.to_le_bytes());
+        b
+    }
+
+    /// Decode and fully verify a header from the start of `bytes`
+    /// (magic, version, then the header checksum — in that order).
+    pub fn decode(bytes: &[u8]) -> Result<Header, CkptError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CkptError::TooShort {
+                needed: HEADER_LEN as u64,
+                got: bytes.len() as u64,
+            });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(CkptError::BadVersion {
+                got: version,
+                expected: VERSION,
+            });
+        }
+        let stored = u64_at(56);
+        let computed = fnv1a(&bytes[..HASHED_LEN]);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch {
+                what: "header",
+                stored,
+                computed,
+            });
+        }
+        Ok(Header {
+            version,
+            flags: u32_at(12),
+            step: u64_at(16),
+            n_atoms: u64_at(24),
+            fingerprint: u64_at(32),
+            payload_len: u64_at(40),
+            payload_fnv: u64_at(48),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            version: VERSION,
+            flags: 0,
+            step: 12345,
+            n_atoms: 1020,
+            fingerprint: 0xdeadbeefcafef00d,
+            payload_len: 36728,
+            payload_fnv: 0x0123456789abcdef,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let h = sample();
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn short_input_is_too_short() {
+        let e = Header::decode(&[0u8; 10]).unwrap_err();
+        assert_eq!(e.kind(), "too_short");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let mut b = sample().encode();
+        b[0] ^= 0xff;
+        assert_eq!(Header::decode(&b).unwrap_err().kind(), "bad_magic");
+
+        let mut h = sample();
+        h.version = VERSION + 1;
+        assert_eq!(
+            Header::decode(&h.encode()).unwrap_err().kind(),
+            "bad_version"
+        );
+    }
+
+    #[test]
+    fn every_header_bit_flip_is_detected() {
+        let b = sample().encode();
+        for i in 0..HEADER_LEN {
+            for bit in 0..8 {
+                let mut f = b;
+                f[i] ^= 1 << bit;
+                let e = Header::decode(&f).expect_err("flip must be detected");
+                assert!(
+                    e.is_corruption() || matches!(e, CkptError::BadVersion { .. }),
+                    "byte {i} bit {bit}: unexpected {e}"
+                );
+            }
+        }
+    }
+}

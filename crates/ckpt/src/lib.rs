@@ -1,0 +1,44 @@
+//! `anton-ckpt`: deterministic checkpoint/restart for the Anton engine.
+//!
+//! The paper's headline is *millisecond-scale* simulation — wall-clock
+//! months of machine time — which is only operable with crash-safe
+//! checkpointing. Anton's determinism guarantee makes the strongest
+//! possible contract available: a resumed run must be **bitwise
+//! identical** to an uninterrupted one, so a checkpoint is nothing more
+//! (and nothing less) than the exact raw fixed-point state plus enough
+//! configuration fingerprinting to refuse a resume that could not honor
+//! the contract.
+//!
+//! The crate provides:
+//!
+//! * a versioned binary file format ([`header`]) in which **every bit of
+//!   the file is covered** by the magic/version check or one of two
+//!   FNV-1a checksums (header and payload), so any single bit flip or
+//!   truncation is detected at load time;
+//! * the snapshot payload ([`snapshot`]): step counter, config
+//!   fingerprint, the engine's raw state bytes (opaque here — the engine
+//!   owns their interpretation), exchange counters, and trace
+//!   drop counts;
+//! * an on-disk store ([`store`]) with atomic temp-file+rename writes,
+//!   deterministic step-derived file names, a human-readable manifest,
+//!   last-K rotation, and newest-valid fallback recovery;
+//! * typed corruption/incompatibility errors ([`error`]) shared with
+//!   `anton-core::FixedState::from_bytes`.
+//!
+//! This crate is deliberately dependency-free (std only) so it can sit at
+//! the bottom of the workspace stack: `anton-core` depends on it, not the
+//! other way around. See DESIGN.md §12 for the format specification.
+
+pub mod error;
+pub mod fingerprint;
+pub mod fnv;
+pub mod header;
+pub mod snapshot;
+pub mod store;
+
+pub use error::CkptError;
+pub use fingerprint::Fingerprint;
+pub use fnv::{fnv1a, Fnv64};
+pub use header::{Header, HEADER_LEN, MAGIC, VERSION};
+pub use snapshot::Snapshot;
+pub use store::{load_file, CheckpointStore, WriteReceipt, MANIFEST_NAME};

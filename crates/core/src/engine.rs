@@ -5,13 +5,16 @@
 use crate::forces::{Decomposition, ForcePipeline, RawForces};
 use crate::pool::threads_from_env;
 use crate::state::{FixedState, FORCE_FRAC, VEL_FRAC};
+use anton_ckpt::{CheckpointStore, CkptError, Fingerprint, Snapshot};
 use anton_fixpoint::rounding::rne_f64;
 use anton_forcefield::units::ACCEL;
 use anton_geometry::Vec3;
+use anton_machine::ExchangeCounters;
 use anton_nt::migration::MigrationSchedule;
 use anton_systems::velocities::init_velocities;
 use anton_systems::System;
 use anton_trace::{Phase, TraceSink, RANK_MAIN};
+use std::path::{Path, PathBuf};
 
 /// Temperature control.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +34,9 @@ pub struct SimulationBuilder {
     thermostat: ThermostatKind,
     constraints_enabled: bool,
     tracing: bool,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_keep: usize,
 }
 
 impl SimulationBuilder {
@@ -80,10 +86,77 @@ impl SimulationBuilder {
         self
     }
 
+    /// Write a checkpoint every `cycles` outer RESPA cycles (checkpoints
+    /// only ever happen at cycle boundaries, where the palindromic cycle
+    /// closes and the state alone determines the continuation). Requires
+    /// [`Self::checkpoint_dir`]; 0 disables the automatic cadence
+    /// (explicit [`AntonSimulation::write_checkpoint`] still works when a
+    /// directory is configured).
+    pub fn checkpoint_every(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = cycles;
+        self
+    }
+
+    /// Directory for the checkpoint store (created if needed). See
+    /// `anton-ckpt` for the on-disk format and rotation policy.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// How many rotated checkpoints to keep (default 3, minimum 1).
+    pub fn checkpoint_keep(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep;
+        self
+    }
+
+    /// Build, then restore the newest valid checkpoint from `path` (a
+    /// store directory, or a single `.ant` file). The snapshot's config
+    /// fingerprint is verified against this builder's configuration
+    /// **before** anything is restored: resuming under a different node
+    /// grid, thread count, system, or run parameters is refused with
+    /// [`CkptError::FingerprintMismatch`], because the bitwise-resume
+    /// contract could silently not hold. On success the simulation
+    /// continues the interrupted trajectory bit-for-bit.
+    pub fn resume_from(self, path: impl AsRef<Path>) -> Result<AntonSimulation, CkptError> {
+        let path = path.as_ref();
+        let snap = if path.is_dir() {
+            CheckpointStore::open(path, self.checkpoint_keep.max(1))
+                .latest_valid()?
+                .1
+        } else {
+            anton_ckpt::load_file(path)?
+        };
+        let expected = config_fingerprint(&self.system, self.decomposition, self.threads);
+        if snap.fingerprint != expected {
+            return Err(CkptError::FingerprintMismatch {
+                stored: snap.fingerprint,
+                expected,
+            });
+        }
+        let mut sim = self.build();
+        sim.restore(&snap)?;
+        Ok(sim)
+    }
+
     pub fn build(self) -> AntonSimulation {
         let velocities = self
             .velocities
             .unwrap_or_else(|| vec![Vec3::ZERO; self.system.n_atoms()]);
+        let ckpt = match (&self.checkpoint_dir, self.checkpoint_every) {
+            (Some(dir), every) => {
+                let store = CheckpointStore::create(dir, self.checkpoint_keep)
+                    .unwrap_or_else(|e| panic!("checkpoint dir {}: {e}", dir.display()));
+                Some(CkptSink {
+                    store,
+                    every,
+                    files_written: 0,
+                    bytes_written: 0,
+                })
+            }
+            (None, 0) => None,
+            (None, every) => panic!("checkpoint_every({every}) requires checkpoint_dir"),
+        };
         AntonSimulation::new(
             self.system,
             velocities,
@@ -92,8 +165,47 @@ impl SimulationBuilder {
             self.thermostat,
             self.constraints_enabled,
             self.tracing,
+            ckpt,
         )
     }
+}
+
+/// Engine-side checkpoint state: the store plus the automatic cadence and
+/// write statistics (surfaced to the scaling bench / perf gate).
+struct CkptSink {
+    store: CheckpointStore,
+    /// Cycles between automatic checkpoints (0 = explicit writes only).
+    every: u64,
+    files_written: u64,
+    bytes_written: u64,
+}
+
+/// The config fingerprint of DESIGN.md §12: every configuration input the
+/// bitwise-resume contract depends on, digested with labels. A snapshot
+/// restores only into a simulation with an equal fingerprint.
+fn config_fingerprint(system: &System, decomposition: Decomposition, threads: usize) -> u64 {
+    let e = system.pbox.edge();
+    let p = &system.params;
+    let nodes = match decomposition {
+        Decomposition::SingleRank => 0u64,
+        Decomposition::Nodes(n) => n as u64,
+    };
+    Fingerprint::new()
+        .field("n_atoms", system.n_atoms() as u64)
+        .field("edge_x", e.x.to_bits())
+        .field("edge_y", e.y.to_bits())
+        .field("edge_z", e.z.to_bits())
+        .field("cutoff", p.cutoff.to_bits())
+        .field("spread_cutoff", p.spread_cutoff.to_bits())
+        .field("mesh_x", p.mesh[0] as u64)
+        .field("mesh_y", p.mesh[1] as u64)
+        .field("mesh_z", p.mesh[2] as u64)
+        .field("dt_fs", p.dt_fs.to_bits())
+        .field("longrange_every", p.longrange_every as u64)
+        .field("migration_every", p.migration_every as u64)
+        .field("nodes", nodes)
+        .field("threads", threads.max(1) as u64)
+        .finish()
 }
 
 /// A running Anton simulation.
@@ -113,6 +225,10 @@ pub struct AntonSimulation {
     drift_c: [f64; 3],
     migration: MigrationSchedule,
     step: u64,
+    ckpt: Option<CkptSink>,
+    /// Config fingerprint (pure function of system/decomposition/threads),
+    /// stamped into every written checkpoint and verified on restore.
+    fingerprint: u64,
 }
 
 impl AntonSimulation {
@@ -125,6 +241,9 @@ impl AntonSimulation {
             thermostat: ThermostatKind::None,
             constraints_enabled: true,
             tracing: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            checkpoint_keep: 3,
         }
     }
 
@@ -137,7 +256,9 @@ impl AntonSimulation {
         thermostat: ThermostatKind,
         constraints_enabled: bool,
         tracing: bool,
+        ckpt: Option<CkptSink>,
     ) -> AntonSimulation {
+        let fingerprint = config_fingerprint(&system, decomposition, threads);
         let state = FixedState::from_f64(&system.pbox, &system.positions, &velocities);
         let mut pipeline = ForcePipeline::new(&system, decomposition, threads);
         if tracing {
@@ -181,6 +302,8 @@ impl AntonSimulation {
             drift_c,
             migration,
             step: 0,
+            ckpt,
+            fingerprint,
         };
         sim.update_virtual_sites();
         sim.refresh_short();
@@ -338,6 +461,26 @@ impl AntonSimulation {
         // enumeration re-derives homes each evaluation with the co-location
         // margin), but tracked to drive the performance model.
         let _ = self.migration.due(self.step);
+
+        // Automatic checkpoint cadence: only ever at a cycle boundary,
+        // where the palindromic cycle has closed and the raw state alone
+        // determines the continuation bitwise.
+        let cycle = self.step / k as u64;
+        let due = self
+            .ckpt
+            .as_ref()
+            .is_some_and(|c| c.every > 0 && cycle.is_multiple_of(c.every));
+        if due {
+            if let Err(e) = self.write_checkpoint() {
+                // An automatic write failing must not kill the trajectory:
+                // the simulation is still correct, only less recoverable.
+                // Explicit write_checkpoint() calls surface the error.
+                eprintln!(
+                    "anton-ckpt: automatic checkpoint at step {} failed: {e}",
+                    self.step
+                );
+            }
+        }
     }
 
     pub fn run_cycles(&mut self, n: usize) {
@@ -371,6 +514,112 @@ impl AntonSimulation {
 
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// The config fingerprint stamped into every checkpoint this
+    /// simulation writes (see `anton-ckpt` and DESIGN.md §12).
+    pub fn config_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Capture the complete simulation state as an `anton-ckpt` snapshot:
+    /// raw fixed-point positions/velocities, step counter, config
+    /// fingerprint, exchange counters, and trace drop counts. Pure
+    /// observation — the simulation is untouched.
+    pub fn snapshot(&self) -> Snapshot {
+        let (dropped_spans, dropped_counters) = match self.trace().buf() {
+            Some(b) => (b.dropped_spans(), b.dropped_counters()),
+            None => (0, 0),
+        };
+        Snapshot {
+            step: self.step,
+            fingerprint: self.fingerprint,
+            n_atoms: self.state.n_atoms() as u64,
+            state: self.state.to_bytes().to_vec(),
+            counters: self.pipeline.counters.to_words().to_vec(),
+            trace_dropped: [dropped_spans, dropped_counters],
+        }
+    }
+
+    /// Restore a snapshot into this simulation: verify the fingerprint and
+    /// atom counts, replace state and step counter, recompute forces, and
+    /// carry the exchange counters and trace drop counts forward so the
+    /// metered totals continue exactly as the interrupted run's would
+    /// have. After a successful restore the continued trajectory is
+    /// bitwise identical to the uninterrupted one.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+        if snap.fingerprint != self.fingerprint {
+            return Err(CkptError::FingerprintMismatch {
+                stored: snap.fingerprint,
+                expected: self.fingerprint,
+            });
+        }
+        let state = FixedState::from_bytes(bytes::Bytes::from(snap.state.clone()))?;
+        if state.n_atoms() as u64 != snap.n_atoms {
+            return Err(CkptError::AtomCountMismatch {
+                expected: snap.n_atoms,
+                got: state.n_atoms() as u64,
+            });
+        }
+        if state.n_atoms() != self.system.n_atoms() {
+            return Err(CkptError::AtomCountMismatch {
+                expected: self.system.n_atoms() as u64,
+                got: state.n_atoms() as u64,
+            });
+        }
+        self.state = state;
+        self.step = snap.step;
+        self.refresh_all_forces();
+        // Counters restore *after* the force refresh: the refresh meters
+        // traffic the uninterrupted run would not have double-counted.
+        self.pipeline.counters =
+            ExchangeCounters::from_words(&snap.counters).ok_or(CkptError::LengthMismatch {
+                what: "exchange-counter words",
+                expected: ExchangeCounters::WORDS as u64,
+                got: snap.counters.len() as u64,
+            })?;
+        self.pipeline
+            .trace_mut()
+            .set_dropped(snap.trace_dropped[0], snap.trace_dropped[1]);
+        Ok(())
+    }
+
+    /// Write a checkpoint now (atomic temp-file+rename into the configured
+    /// store, with rotation). Returns the encoded size in bytes. Requires
+    /// a [`SimulationBuilder::checkpoint_dir`]; the automatic cadence of
+    /// [`SimulationBuilder::checkpoint_every`] calls this at cycle
+    /// boundaries. The write is recorded as a [`Phase::Checkpoint`] trace
+    /// span plus a `ckpt_write` counter carrying the byte count.
+    pub fn write_checkpoint(&mut self) -> Result<u64, CkptError> {
+        let t0 = self.pipeline.trace().now_ns();
+        let snap = self.snapshot();
+        let bytes = {
+            let sink = self.ckpt.as_mut().ok_or(CkptError::NotConfigured)?;
+            let receipt = sink.store.write(&snap)?;
+            sink.files_written += 1;
+            sink.bytes_written += receipt.bytes;
+            receipt.bytes
+        };
+        self.pipeline
+            .trace_mut()
+            .end_span(Phase::Checkpoint, RANK_MAIN, t0);
+        self.pipeline
+            .trace_mut()
+            .counter("ckpt_write", Phase::Checkpoint, 1, bytes, 0.0);
+        Ok(bytes)
+    }
+
+    /// `(files_written, bytes_written)` by this simulation's checkpoint
+    /// store, or `None` when checkpointing is not configured.
+    pub fn checkpoint_stats(&self) -> Option<(u64, u64)> {
+        self.ckpt
+            .as_ref()
+            .map(|c| (c.files_written, c.bytes_written))
+    }
+
+    /// The configured checkpoint directory, if any.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.ckpt.as_ref().map(|c| c.store.dir())
     }
 
     /// The decomposition this simulation was built with (a construction-time
@@ -671,6 +920,148 @@ mod tests {
                 assert!((d - d0).abs() < 5e-4, "constraint ({i},{j}) at {d} vs {d0}");
             }
         }
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "anton-engine-ckpt-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Kill-and-resume is bitwise equal to the uninterrupted run, and the
+    /// restored bookkeeping (step counter, exchange counters) continues
+    /// exactly where the interrupted run left off.
+    #[test]
+    fn interrupted_and_resumed_run_is_bitwise_identical() {
+        let dir = ckpt_dir("resume");
+        let build = || {
+            AntonSimulation::builder(water_system(80, 3))
+                .velocities_from_temperature(300.0, 7)
+                .decomposition(Decomposition::Nodes(8))
+                .threads(2)
+        };
+        let mut golden = build().build();
+        golden.run_cycles(5);
+
+        {
+            let mut sim = build().checkpoint_every(1).checkpoint_dir(&dir).build();
+            sim.run_cycles(3);
+            assert_eq!(
+                sim.checkpoint_stats(),
+                Some((3, sim.checkpoint_stats().unwrap().1))
+            );
+            // The "crash": sim dropped here without any shutdown path.
+        }
+        let mut resumed = build().resume_from(&dir).expect("resume");
+        assert_eq!(
+            resumed.step_count(),
+            3 * resumed.system.params.longrange_every.max(1) as u64
+        );
+        resumed.run_cycles(2);
+        assert_eq!(resumed.state, golden.state, "resumed trajectory diverged");
+        assert_eq!(
+            resumed.pipeline.counters.to_words(),
+            golden.pipeline.counters.to_words(),
+            "restored exchange counters diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Resume refuses a mismatched node/thread/config fingerprint with a
+    /// typed error, before touching any state.
+    #[test]
+    fn resume_refuses_mismatched_configuration() {
+        let dir = ckpt_dir("refuse");
+        {
+            let mut sim = AntonSimulation::builder(water_system(80, 3))
+                .velocities_from_temperature(300.0, 7)
+                .decomposition(Decomposition::Nodes(8))
+                .threads(2)
+                .checkpoint_every(1)
+                .checkpoint_dir(&dir)
+                .build();
+            sim.run_cycles(1);
+        }
+        // Different node decomposition.
+        let err = AntonSimulation::builder(water_system(80, 3))
+            .velocities_from_temperature(300.0, 7)
+            .decomposition(Decomposition::Nodes(64))
+            .threads(2)
+            .resume_from(&dir)
+            .err()
+            .expect("resume under a different decomposition must fail");
+        assert!(matches!(
+            err,
+            anton_ckpt::CkptError::FingerprintMismatch { .. }
+        ));
+        // Different thread count.
+        let err = AntonSimulation::builder(water_system(80, 3))
+            .velocities_from_temperature(300.0, 7)
+            .decomposition(Decomposition::Nodes(8))
+            .threads(4)
+            .resume_from(&dir)
+            .err()
+            .expect("resume under a different thread count must fail");
+        assert!(matches!(
+            err,
+            anton_ckpt::CkptError::FingerprintMismatch { .. }
+        ));
+        // Different system (atom count).
+        let err = AntonSimulation::builder(water_system(60, 3))
+            .velocities_from_temperature(300.0, 7)
+            .decomposition(Decomposition::Nodes(8))
+            .threads(2)
+            .resume_from(&dir)
+            .err()
+            .expect("resume into a different system must fail");
+        assert!(matches!(
+            err,
+            anton_ckpt::CkptError::FingerprintMismatch { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The rotated store keeps only the last K checkpoints, and resume
+    /// picks the newest.
+    #[test]
+    fn automatic_cadence_rotates_and_resumes_from_newest() {
+        let dir = ckpt_dir("rotate");
+        let k;
+        {
+            let mut sim = AntonSimulation::builder(water_system(60, 5))
+                .velocities_from_temperature(300.0, 9)
+                .checkpoint_every(1)
+                .checkpoint_dir(&dir)
+                .checkpoint_keep(2)
+                .build();
+            k = sim.system.params.longrange_every.max(1) as u64;
+            sim.run_cycles(4);
+            assert_eq!(sim.checkpoint_stats().map(|(files, _)| files), Some(4));
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ant"))
+            .collect();
+        assert_eq!(names.len(), 2, "rotation kept {names:?}");
+        let resumed = AntonSimulation::builder(water_system(60, 5))
+            .velocities_from_temperature(300.0, 9)
+            .resume_from(&dir)
+            .expect("resume");
+        assert_eq!(resumed.step_count(), 4 * k);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_checkpoint_without_a_store_is_a_typed_error() {
+        let mut sim = AntonSimulation::builder(water_system(60, 5))
+            .velocities_from_temperature(300.0, 9)
+            .build();
+        let err = sim.write_checkpoint().expect_err("no store configured");
+        assert!(matches!(err, anton_ckpt::CkptError::NotConfigured));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod ranks;
 pub mod state;
 pub mod stats;
 
+pub use anton_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use anton_trace::{Phase as TracePhase, TraceSink};
 pub use engine::{AntonSimulation, SimulationBuilder, ThermostatKind};
 pub use forces::{Decomposition, ForcePipeline, RawForces};

@@ -155,17 +155,36 @@ impl FixedState {
         buf.freeze()
     }
 
-    /// Restore from [`Self::to_bytes`] output. Returns `None` on malformed
-    /// input.
-    pub fn from_bytes(mut data: bytes::Bytes) -> Option<FixedState> {
+    /// Restore from [`Self::to_bytes`] output, with typed failures from
+    /// the shared checkpoint error vocabulary ([`anton_ckpt::CkptError`]):
+    /// too-short input, or a body whose length disagrees with the declared
+    /// atom count. (Magic, version, and checksums belong to the enclosing
+    /// `anton-ckpt` container — this byte string is its raw payload, whose
+    /// format predates the container and is checksummed by it.)
+    pub fn from_bytes(mut data: bytes::Bytes) -> Result<FixedState, anton_ckpt::CkptError> {
+        use anton_ckpt::CkptError;
         use bytes::Buf;
         if data.remaining() < 8 {
-            return None;
+            return Err(CkptError::TooShort {
+                needed: 8,
+                got: data.remaining() as u64,
+            });
         }
-        let n = data.get_u64_le() as usize;
-        if data.remaining() != n * (12 + 24) {
-            return None;
+        let declared = data.get_u64_le();
+        // Atom-count consistency: the declared count must exactly account
+        // for the bytes present (checked in u64 so an absurd count cannot
+        // overflow the expected size).
+        match declared.checked_mul((12 + 24) as u64) {
+            Some(expected) if data.remaining() as u64 == expected => {}
+            expected => {
+                return Err(CkptError::LengthMismatch {
+                    what: "state body",
+                    expected: expected.unwrap_or(u64::MAX),
+                    got: data.remaining() as u64,
+                })
+            }
         }
+        let n = declared as usize;
         let mut positions = Vec::with_capacity(n);
         for _ in 0..n {
             positions.push(FxVec3([
@@ -178,7 +197,7 @@ impl FixedState {
         for _ in 0..n {
             velocities.push([data.get_i64_le(), data.get_i64_le(), data.get_i64_le()]);
         }
-        Some(FixedState {
+        Ok(FixedState {
             positions,
             velocities,
         })
@@ -202,8 +221,12 @@ mod tests {
     }
 
     #[test]
-    fn from_bytes_rejects_malformed() {
-        assert!(FixedState::from_bytes(bytes::Bytes::from_static(&[1, 2, 3])).is_none());
+    fn from_bytes_rejects_malformed_with_typed_errors() {
+        use anton_ckpt::CkptError;
+        assert!(matches!(
+            FixedState::from_bytes(bytes::Bytes::from_static(&[1, 2, 3])),
+            Err(CkptError::TooShort { needed: 8, got: 3 })
+        ));
         let st = FixedState::from_f64(
             &PeriodicBox::cubic(5.0),
             &[Vec3::new(1.0, 1.0, 1.0)],
@@ -211,7 +234,29 @@ mod tests {
         );
         let mut truncated = st.to_bytes().to_vec();
         truncated.pop();
-        assert!(FixedState::from_bytes(bytes::Bytes::from(truncated)).is_none());
+        assert!(matches!(
+            FixedState::from_bytes(bytes::Bytes::from(truncated)),
+            Err(CkptError::LengthMismatch {
+                what: "state body",
+                expected: 36,
+                got: 35,
+            })
+        ));
+        // Declared atom count disagreeing with the body is a length
+        // mismatch too (consistency validation, not a silent truncation).
+        let mut wrong_count = st.to_bytes().to_vec();
+        wrong_count[0] = 2;
+        assert!(matches!(
+            FixedState::from_bytes(bytes::Bytes::from(wrong_count)),
+            Err(CkptError::LengthMismatch { expected: 72, .. })
+        ));
+        // An absurd count cannot overflow the expected-size arithmetic.
+        let mut absurd = st.to_bytes().to_vec();
+        absurd[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            FixedState::from_bytes(bytes::Bytes::from(absurd)),
+            Err(CkptError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// Fixture: linted as crates/ckpt/src/bad.rs — checkpoint file names
+// derived from wall-clock time. Recovery order then depends on the host
+// clock instead of simulation progress, so D4 fires on both the import
+// and the read.
+
+use std::time::SystemTime;
+
+pub fn checkpoint_name() -> String {
+    let stamp = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    format!("ckpt-{stamp}.ant")
+}

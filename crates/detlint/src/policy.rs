@@ -8,7 +8,7 @@
 /// Crates on the simulation path: wall-clock reads (D4) and parallel
 /// reductions (D5) are policed here.
 pub const DET_CRATES: &[&str] = &[
-    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace",
+    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace", "ckpt",
 ];
 
 /// Crates where unordered-container iteration (D2) is policed. `systems`

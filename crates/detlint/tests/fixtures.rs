@@ -124,6 +124,30 @@ fn sanctioned_trace_shape_passes() {
 }
 
 #[test]
+fn ckpt_crate_is_on_the_simulation_path() {
+    // `ckpt` joined DET_CRATES: deriving checkpoint names from the wall
+    // clock makes recovery order host-dependent — D4 fires on the import
+    // and on the read.
+    let hits = rules_hit("crates/ckpt/src/bad.rs", "fail_ckpt_wallclock_name.rs");
+    assert_eq!(hits, [("D4".into(), 6), ("D4".into(), 9)]);
+}
+
+#[test]
+fn sanctioned_ckpt_atomic_write_shape_passes() {
+    // The shape the real `anton-ckpt` store uses: step-derived names,
+    // tmp + fsync + atomic rename, and exactly one audited wall-clock
+    // read for the advisory manifest timestamp.
+    let lint = lint_source(
+        "crates/ckpt/src/good.rs",
+        &fixture("pass_ckpt_atomic_write.rs"),
+    );
+    assert_eq!(lint.violations, []);
+    assert_eq!(lint.allows.len(), 1);
+    assert_eq!(lint.allows[0].rule, "D4");
+    assert!(!lint.allows[0].reason.is_empty());
+}
+
+#[test]
 fn meta_flags_malformed_directives() {
     let hits = rules_hit("crates/core/src/bad.rs", "fail_meta_directives.rs");
     let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();

@@ -149,6 +149,52 @@ impl ExchangeCounters {
         self.mesh_halo_bytes as f64 / self.lr_steps as f64 / n_ranks as f64
     }
 
+    /// Number of u64 words in the [`Self::to_words`] serialization.
+    pub const WORDS: usize = 13;
+
+    /// Serialize to a fixed word array for the checkpoint payload. The
+    /// word order is the struct declaration order and is part of the
+    /// `anton-ckpt` format: changing it (or [`Self::WORDS`]) requires a
+    /// format version bump.
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        [
+            self.steps,
+            self.import_messages,
+            self.import_atoms,
+            self.import_bytes,
+            self.import_hop_bytes,
+            self.reduce_messages,
+            self.reduce_bytes,
+            self.reduce_hop_bytes,
+            self.lr_steps,
+            self.fft_messages,
+            self.fft_bytes,
+            self.mesh_halo_messages,
+            self.mesh_halo_bytes,
+        ]
+    }
+
+    /// Inverse of [`Self::to_words`]; `None` when `words` has the wrong
+    /// arity (a snapshot from an incompatible layout).
+    pub fn from_words(words: &[u64]) -> Option<ExchangeCounters> {
+        let w: &[u64; Self::WORDS] = words.try_into().ok()?;
+        Some(ExchangeCounters {
+            steps: w[0],
+            import_messages: w[1],
+            import_atoms: w[2],
+            import_bytes: w[3],
+            import_hop_bytes: w[4],
+            reduce_messages: w[5],
+            reduce_bytes: w[6],
+            reduce_hop_bytes: w[7],
+            lr_steps: w[8],
+            fft_messages: w[9],
+            fft_bytes: w[10],
+            mesh_halo_messages: w[11],
+            mesh_halo_bytes: w[12],
+        })
+    }
+
     /// Field-wise difference `self − earlier`: the traffic metered between
     /// two snapshots of the same counter set, for attributing a burst of
     /// communication to the pipeline phase that emitted it. Saturating, so
@@ -572,6 +618,33 @@ mod tests {
         );
         let anton = PerfModel::anton_512().breakdown(&s).us_per_day;
         assert!(anton / cluster > 10.0, "speedup {}", anton / cluster);
+    }
+
+    #[test]
+    fn counter_words_roundtrip_and_reject_wrong_arity() {
+        let c = ExchangeCounters {
+            steps: 1,
+            import_messages: 2,
+            import_atoms: 3,
+            import_bytes: 4,
+            import_hop_bytes: 5,
+            reduce_messages: 6,
+            reduce_bytes: 7,
+            reduce_hop_bytes: 8,
+            lr_steps: 9,
+            fft_messages: 10,
+            fft_bytes: 11,
+            mesh_halo_messages: 12,
+            mesh_halo_bytes: 13,
+        };
+        let words = c.to_words();
+        // Every field is distinct, so a permutation or a dropped field
+        // cannot round-trip unnoticed.
+        assert_eq!(words, [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        let back = ExchangeCounters::from_words(&words).unwrap();
+        assert_eq!(back.to_words(), words);
+        assert!(ExchangeCounters::from_words(&words[..12]).is_none());
+        assert!(ExchangeCounters::from_words(&[0; 14]).is_none());
     }
 
     #[test]

@@ -37,11 +37,16 @@ pub enum Phase {
     Reciprocal,
     /// Kick/drift/constraint/virtual-site work of the integrator.
     Integrate,
+    /// Checkpoint serialization + atomic write (`anton-ckpt`): snapshot
+    /// encode, checksum, temp-file write, rename, rotation. Observability
+    /// of the checkpoint cost — never on the inner-step path (checkpoints
+    /// happen at cycle boundaries only).
+    Checkpoint,
 }
 
 impl Phase {
     /// Every phase, in canonical order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Step,
         Phase::ReHome,
         Phase::RangeLimited,
@@ -55,6 +60,7 @@ impl Phase {
         Phase::Interpolate,
         Phase::Reciprocal,
         Phase::Integrate,
+        Phase::Checkpoint,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -73,6 +79,7 @@ impl Phase {
             Phase::Interpolate => "interpolate",
             Phase::Reciprocal => "reciprocal",
             Phase::Integrate => "integrate",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 

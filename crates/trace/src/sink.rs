@@ -273,6 +273,17 @@ impl TraceSink {
         }
     }
 
+    /// Overwrite the dropped-event counts (checkpoint resume: the counts
+    /// are part of the snapshot, so post-resume observability bookkeeping
+    /// continues from the values the interrupted run had accumulated
+    /// rather than restarting from zero). No-op when off.
+    pub fn set_dropped(&mut self, spans: u64, counters: u64) {
+        if let TraceSink::On(b) = self {
+            b.dropped_spans = spans;
+            b.dropped_counters = counters;
+        }
+    }
+
     /// The recorded buffer, if tracing is on.
     pub fn buf(&self) -> Option<&TraceBuf> {
         match self {
@@ -339,6 +350,18 @@ mod tests {
         let mut s = TraceSink::with_capacity(64, 4);
         s.merge_lanes(std::iter::once(&mut lane));
         assert_eq!(s.buf().unwrap().dropped_spans(), 3);
+    }
+
+    #[test]
+    fn dropped_counts_can_be_restored_for_resume() {
+        let mut s = TraceSink::with_capacity(8, 8);
+        s.set_dropped(5, 9);
+        let b = s.buf().unwrap();
+        assert_eq!(b.dropped_spans(), 5);
+        assert_eq!(b.dropped_counters(), 9);
+        let mut off = TraceSink::off();
+        off.set_dropped(1, 1);
+        assert!(off.buf().is_none());
     }
 
     #[test]

@@ -106,6 +106,74 @@ fn assert_golden(nodes: usize) {
     }
 }
 
+/// A unique scratch checkpoint directory per configuration (the golden
+/// resume tests run concurrently under the default test harness).
+fn scratch_ckpt_dir(tag: &str, nodes: usize, threads: usize, tracing: bool) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "anton-golden-ckpt-{}-{tag}-{nodes}n-{threads}t-{}",
+        std::process::id(),
+        if tracing { "traced" } else { "plain" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The checkpoint tier of the determinism contract: run the golden
+/// trajectory with checkpointing on, "crash" after cycle 2, resume from
+/// the store, finish — and land on the same checked-in checksums the
+/// uninterrupted run pins. Asserted across {1,8,64} nodes × {1,4}
+/// threads × tracing {on,off} like the golden tier itself.
+fn assert_resume_golden(nodes: usize) {
+    let k = golden_waterbox().params.longrange_every.max(1) as u64;
+    for threads in [1usize, 4] {
+        for tracing in [false, true] {
+            let ctx = format!("nodes={nodes} threads={threads} tracing={tracing}");
+            let dir = scratch_ckpt_dir("resume", nodes, threads, tracing);
+            let decomposition = if nodes == 1 {
+                Decomposition::SingleRank
+            } else {
+                Decomposition::Nodes(nodes)
+            };
+            {
+                let mut sim = AntonSimulation::builder(golden_waterbox())
+                    .velocities_from_temperature(300.0, 7)
+                    .decomposition(decomposition)
+                    .threads(threads)
+                    .tracing(tracing)
+                    .checkpoint_every(1)
+                    .checkpoint_dir(&dir)
+                    .build();
+                sim.run_cycles(CYCLES - 1);
+                assert_eq!(
+                    state_checksum(&sim),
+                    GOLDEN_CYCLE_CHECKSUMS[CYCLES - 2],
+                    "pre-interrupt state diverged: {ctx}"
+                );
+                // The "crash": drop without any orderly shutdown.
+            }
+            let mut sim = AntonSimulation::builder(golden_waterbox())
+                .velocities_from_temperature(300.0, 7)
+                .decomposition(decomposition)
+                .threads(threads)
+                .tracing(tracing)
+                .resume_from(&dir)
+                .unwrap_or_else(|e| panic!("resume failed ({ctx}): {e}"));
+            assert_eq!(
+                sim.step_count(),
+                (CYCLES as u64 - 1) * k,
+                "resumed at the wrong step: {ctx}"
+            );
+            sim.run_cycles(1);
+            assert_eq!(
+                state_checksum(&sim),
+                GOLDEN_FINAL_CHECKSUM,
+                "interrupt-and-resume diverged from golden: {ctx}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 #[test]
 fn golden_trajectory_single_rank() {
     assert_golden(1);
@@ -119,6 +187,21 @@ fn golden_trajectory_8_nodes() {
 #[test]
 fn golden_trajectory_64_nodes() {
     assert_golden(64);
+}
+
+#[test]
+fn golden_resume_single_rank() {
+    assert_resume_golden(1);
+}
+
+#[test]
+fn golden_resume_8_nodes() {
+    assert_resume_golden(8);
+}
+
+#[test]
+fn golden_resume_64_nodes() {
+    assert_resume_golden(64);
 }
 
 #[test]
@@ -179,11 +262,16 @@ fn disabled_tracing_records_nothing() {
 
 #[test]
 fn enabled_tracing_covers_every_pipeline_phase() {
+    // Checkpointing is enabled so the `checkpoint` phase (emitted only when
+    // a store is configured) appears alongside the per-step pipeline phases.
+    let dir = scratch_ckpt_dir("phases", 8, 2, true);
     let mut sim = AntonSimulation::builder(golden_waterbox())
         .velocities_from_temperature(300.0, 7)
         .decomposition(Decomposition::Nodes(8))
         .threads(2)
         .tracing(true)
+        .checkpoint_every(1)
+        .checkpoint_dir(&dir)
         .build();
     sim.run_cycles(2);
     let buf = sim.trace().buf().expect("tracing was enabled");
@@ -199,6 +287,7 @@ fn enabled_tracing_covers_every_pipeline_phase() {
     }
     assert_eq!(buf.dropped_spans(), 0, "span capacity too small for run");
     assert_eq!(buf.dropped_counters(), 0, "counter capacity too small");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Regeneration helper: prints the constant block to paste above.
