@@ -1,0 +1,16 @@
+// Fixture: linted as crates/core/src/engine.rs — the simulation root. The
+// body is squeaky-clean under D1–D5: the nondeterminism only enters two
+// calls away, which is exactly what the per-file rules cannot see.
+
+use anton_nt::pace_budget;
+
+pub struct Sim {
+    step: u64,
+}
+
+impl Sim {
+    pub fn run_cycle(&mut self) {
+        let budget = pace_budget(self.step);
+        self.step += budget;
+    }
+}

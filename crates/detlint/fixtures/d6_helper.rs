@@ -1,0 +1,9 @@
+// Fixture: linted as crates/nt/src/helper.rs — an ordinary-looking helper
+// crate function. Nothing here trips D1–D5 either; it merely forwards to
+// the tainted source in the trace crate.
+
+use anton_trace::host_jitter_ns;
+
+pub fn pace_budget(step: u64) -> u64 {
+    1 + host_jitter_ns(step) % 2
+}

@@ -1,0 +1,11 @@
+// Fixture: linted as crates/trace/src/stamp.rs — a sanctioned-looking
+// allow(D4) site. File-by-file this is clean: the allow suppresses D4.
+// But the returned value is derived from the wall clock, and the taint
+// pass must flag any call chain from a simulation root into it that does
+// not pass through an audited boundary.
+
+pub fn host_jitter_ns(step: u64) -> u64 {
+    // detlint::allow(D4, reason = "span stamp for observability output")
+    let t0 = std::time::Instant::now();
+    step ^ t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+// Fixture: linted as crates/trace/src/stamp.rs — the audited resolution of
+// the d6_source.rs leak: the item is declared a boundary, asserting (with
+// a reviewed reason) that nondeterminism is structurally absorbed here and
+// cannot influence simulation state. The taint pass treats the item as
+// opaque: taint neither seeds inside it nor flows through it.
+
+// detlint::boundary(reason = "audited absorber: the jitter value is folded into an observability stamp that never reaches an accumulator; callers receive a value used only for trace payload")
+pub fn host_jitter_ns(step: u64) -> u64 {
+    // detlint::allow(D4, reason = "span stamp for observability output")
+    let t0 = std::time::Instant::now();
+    step ^ t0.elapsed().as_nanos() as u64
+}

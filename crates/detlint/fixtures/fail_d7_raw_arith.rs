@@ -1,0 +1,30 @@
+// Fixture: linted as crates/core/src/bad.rs — D7 fires on unchecked
+// arithmetic adjacent to a raw fixed-point read: outside fixpoint's
+// wrapper modules the bare ops panic in debug and silently wrap in
+// release, off the sanctioned two's-complement path.
+
+use anton_fixpoint::{Fx32, Q20};
+
+pub fn drift(a: Fx32, b: Fx32) -> i32 {
+    a.raw() + b.raw()
+}
+
+pub fn scaled(q: Q20) -> i64 {
+    q.raw() << 4
+}
+
+pub fn lever(q: Q20, k: i64) -> i64 {
+    k * q.raw()
+}
+
+pub fn span(a: Q20, b: Q20) -> i64 {
+    a.raw() - b.raw()
+}
+
+pub fn compare_is_fine(a: Fx32, b: Fx32) -> bool {
+    a.raw() == b.raw()
+}
+
+pub fn index_is_fine(cells: &[u32], q: Q20) -> u32 {
+    cells[q.raw() as usize]
+}

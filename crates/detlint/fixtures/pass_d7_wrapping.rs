@@ -1,0 +1,27 @@
+// Fixture: linted as crates/core/src/good.rs — the sanctioned shapes: all
+// arithmetic on fixed-point values goes through the fixpoint wrappers
+// (wrapping_add/sub/neg, mul, rne_shr_*); raw reads only feed comparisons,
+// indexing, serialization, or explicitly allowed audited sites.
+
+use anton_fixpoint::{Fx32, Q20};
+
+pub fn drift(a: Fx32, b: Fx32) -> Fx32 {
+    a.wrapping_add(b)
+}
+
+pub fn minimum_image(a: Fx32, b: Fx32) -> Fx32 {
+    a.wrapping_sub(b)
+}
+
+pub fn product(a: Q20, b: Q20) -> Q20 {
+    a.mul(b)
+}
+
+pub fn bucket(q: Q20, shift: u32) -> usize {
+    (q.raw() >> shift) as usize
+}
+
+pub fn audited(q: Q20) -> i64 {
+    // detlint::allow(D7, reason = "doubling a Q20 whose magnitude is bounded by the box edge; audited against the Q20 headroom analysis in DESIGN.md")
+    q.raw() << 1
+}

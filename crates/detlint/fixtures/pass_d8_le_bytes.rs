@@ -1,0 +1,19 @@
+// Fixture: linted as crates/ckpt/src/good.rs — the sanctioned payload
+// shape: every integer crosses into bytes through an explicit little-
+// endian encode, and the one untyped byte view (UTF-8 text) carries an
+// audited allow.
+
+pub fn encode_step(step: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&step.to_le_bytes());
+}
+
+pub fn decode_step(b: [u8; 8]) -> u64 {
+    u64::from_le_bytes(b)
+}
+
+pub fn hash_name(h: &mut u64, name: &str) {
+    // detlint::allow(D8, reason = "str::as_bytes is UTF-8: a byte sequence with no host-endian structure")
+    for &b in name.as_bytes() {
+        *h = (*h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+}

@@ -1,0 +1,565 @@
+//! Lightweight workspace item/call graph for the cross-crate taint pass.
+//!
+//! detlint stays zero-dependency, so this is not a type-checked resolver:
+//! it extracts `fn` definitions (with their `impl` owner type), call sites
+//! (bare `name(...)`, qualified `path::name(...)`, method `.name(...)`),
+//! `struct`/`enum` item spans, and `use` edges between workspace crates —
+//! all from the same token stream the per-file rules run on. Calls are
+//! resolved by name with a deterministic preference order (matching owner
+//! type, then matching module, then same file, same crate, used crates);
+//! calls into `std` or vendored crates resolve to nothing and simply do
+//! not carry taint. The result is deliberately conservative: a false edge
+//! can only *add* taint, never hide it, and every D6 report prints the
+//! full chain so a spurious edge is visible and cheap to cut.
+
+use crate::lexer::{Tok, TokKind};
+use crate::policy;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A `fn` definition in a deterministic crate.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// `impl` self type the fn lives in, if any (`TraceClock` for both
+    /// `impl TraceClock` and `impl Default for TraceClock`).
+    pub owner: Option<String>,
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the `}` (or `;`) ending the item.
+    pub end_line: u32,
+}
+
+/// One call site inside a [`FnDef`] body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Index into [`Graph::defs`] of the enclosing (innermost) fn.
+    pub caller: usize,
+    pub callee: String,
+    /// Last path segment before `::callee(...)`, if the call is qualified.
+    pub qualifier: Option<String>,
+    /// True for `.callee(...)` method syntax.
+    pub is_method: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A `struct`/`enum` item span, used to attach taint seeds that sit inside
+/// a type definition (e.g. an allowed nondeterministic field) to every
+/// method of that type.
+#[derive(Clone, Debug)]
+pub struct TypeSpan {
+    pub name: String,
+    pub file: usize,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Workspace-relative paths of the files in the graph, insertion order.
+    pub files: Vec<String>,
+    /// Crate name of each file (parallel to `files`).
+    pub file_crates: Vec<String>,
+    pub defs: Vec<FnDef>,
+    pub calls: Vec<CallSite>,
+    pub types: Vec<TypeSpan>,
+    /// crate -> workspace crates it `use`s (via `anton_<c>` or bare paths).
+    pub uses: BTreeMap<String, BTreeSet<String>>,
+    /// fn name -> def indices, for resolution.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "move", "as",
+    "struct", "enum", "trait", "mod", "impl", "where", "use", "pub", "unsafe", "dyn", "ref",
+];
+
+impl Graph {
+    /// Add one already-lexed file to the graph. `test_regions` are the
+    /// `#[cfg(test)]` line spans from the rule pass: defs and calls inside
+    /// them are invisible to the taint analysis, like every other rule.
+    pub fn add_file(&mut self, rel: &str, toks: &[Tok], test_regions: &[(u32, u32)]) {
+        let crate_name = policy::crate_of(rel).unwrap_or("").to_string();
+        let file_idx = self.files.len();
+        self.files.push(rel.to_string());
+        self.file_crates.push(crate_name.clone());
+
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let in_tests = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+
+        // `use` edges: first path segment after `use`, normalized to a
+        // workspace crate name when it is an `anton_<c>` alias.
+        for i in 0..code.len() {
+            if is_ident(&code, i, "use") {
+                if let Some(seg) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    if let Some(c) = crate_alias(&seg.text) {
+                        self.uses
+                            .entry(crate_name.clone())
+                            .or_default()
+                            .insert(c.to_string());
+                    }
+                }
+            }
+        }
+
+        // `impl` spans with their self type.
+        let impls = impl_spans(&code);
+
+        // `struct` / `enum` item spans.
+        for i in 0..code.len() {
+            if (is_ident(&code, i, "struct") || is_ident(&code, i, "enum"))
+                && code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                if in_tests(code[i].line) {
+                    continue;
+                }
+                let end = item_end(&code, i + 2).unwrap_or(code[i + 1].line);
+                self.types.push(TypeSpan {
+                    name: code[i + 1].text.clone(),
+                    file: file_idx,
+                    line: code[i].line,
+                    end_line: end,
+                });
+            }
+        }
+
+        // `fn` definitions. Spans are recorded as token-index ranges first
+        // so call sites can be attributed to the innermost enclosing fn.
+        let first_def = self.defs.len();
+        let mut def_spans: Vec<(usize, usize)> = Vec::new();
+        for i in 0..code.len() {
+            if is_ident(&code, i, "fn") && code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                if in_tests(code[i].line) {
+                    continue;
+                }
+                let end_idx = item_end_idx(&code, i + 2).unwrap_or(code.len() - 1);
+                let owner = impls
+                    .iter()
+                    .filter(|im| im.start < i && i < im.end)
+                    .max_by_key(|im| im.start)
+                    .map(|im| im.owner.clone());
+                self.defs.push(FnDef {
+                    name: code[i + 1].text.clone(),
+                    owner,
+                    file: file_idx,
+                    line: code[i].line,
+                    end_line: code[end_idx].line,
+                });
+                def_spans.push((i, end_idx));
+            }
+        }
+        for (d, _) in def_spans.iter().enumerate() {
+            let idx = first_def + d;
+            self.by_name
+                .entry(self.defs[idx].name.clone())
+                .or_default()
+                .push(idx);
+        }
+
+        // Call sites: `name (` that is not a definition, macro, or keyword.
+        for i in 0..code.len() {
+            let t = code[i];
+            if t.kind != TokKind::Ident || !is_punct(&code, i + 1, "(") {
+                continue;
+            }
+            if NON_CALL_IDENTS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // `fn name(` is the definition itself; `name!(...)` never
+            // reaches here because `!` sits between name and `(`.
+            if i > 0 && code[i - 1].kind == TokKind::Ident && code[i - 1].text == "fn" {
+                continue;
+            }
+            if in_tests(t.line) {
+                continue;
+            }
+            let Some(caller) = def_spans
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, e))| s < i && i <= e)
+                .max_by_key(|(_, &(s, _))| s)
+                .map(|(d, _)| first_def + d)
+            else {
+                continue; // top-level expression position; not simulation code
+            };
+            let is_method = i > 0 && is_punct(&code, i - 1, ".");
+            let qualifier = if i >= 3
+                && is_punct(&code, i - 1, ":")
+                && is_punct(&code, i - 2, ":")
+                && code[i - 3].kind == TokKind::Ident
+            {
+                Some(code[i - 3].text.clone())
+            } else {
+                None
+            };
+            self.calls.push(CallSite {
+                caller,
+                callee: t.text.clone(),
+                qualifier,
+                is_method,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+
+    /// Resolve a call site to candidate definitions, most specific first.
+    /// Deterministic: candidate lists come from sorted maps and are pushed
+    /// in file insertion order (the caller adds files in sorted order).
+    pub fn resolve(&self, c: &CallSite) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&c.callee) else {
+            return Vec::new();
+        };
+        let caller = &self.defs[c.caller];
+        let caller_crate = &self.file_crates[caller.file];
+
+        if let Some(q) = &c.qualifier {
+            let q = if q == "Self" {
+                match &caller.owner {
+                    Some(o) => o.clone(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.clone()
+            };
+            if q == "crate" || q == "self" || q == "super" {
+                // Path-qualified but still inside the caller's crate.
+                let same: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&d| self.file_crates[self.defs[d].file] == *caller_crate)
+                    .collect();
+                return same;
+            }
+            // 1. Inherent/trait impl owner match: `TraceClock::now_ns`.
+            let owned: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&d| self.defs[d].owner.as_deref() == Some(q.as_str()))
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+            // 2. Module match: `clock::now_ns` -> crates/trace/src/clock.rs.
+            let module: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&d| file_stem(&self.files[self.defs[d].file]) == q)
+                .collect();
+            if !module.is_empty() {
+                return module;
+            }
+            // 3. Crate match: `anton_trace::merge(...)`.
+            if let Some(cr) = crate_alias(&q) {
+                let in_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&d| self.file_crates[self.defs[d].file] == cr)
+                    .collect();
+                return in_crate;
+            }
+            // Unknown qualifier: a std/vendored type. Not a workspace call.
+            return Vec::new();
+        }
+
+        // Unqualified / method call: same file, then same crate, then the
+        // crates this crate uses.
+        let same_file: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&d| self.defs[d].file == caller.file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&d| self.file_crates[self.defs[d].file] == *caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        let empty = BTreeSet::new();
+        let used = self.uses.get(caller_crate).unwrap_or(&empty);
+        cands
+            .iter()
+            .copied()
+            .filter(|&d| used.contains(&self.file_crates[self.defs[d].file]))
+            .collect()
+    }
+
+    /// Innermost def containing `line` of file `file`, if any.
+    pub fn def_at(&self, file: usize, line: u32) -> Option<usize> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.file == file && (d.line..=d.end_line).contains(&line))
+            .max_by_key(|(_, d)| d.line)
+            .map(|(i, _)| i)
+    }
+
+    /// Human-readable label for a def: `Owner::name` or `name`.
+    pub fn label(&self, d: usize) -> String {
+        let def = &self.defs[d];
+        match &def.owner {
+            Some(o) => format!("{o}::{}", def.name),
+            None => def.name.clone(),
+        }
+    }
+}
+
+struct ImplSpan {
+    owner: String,
+    /// Token index of the `impl` keyword and of the closing `}`.
+    start: usize,
+    end: usize,
+}
+
+/// Parse `impl` blocks: `impl [<...>] Type [for Type] [where ...] { ... }`.
+/// The owner is the *self* type: the last angle-depth-0 identifier of the
+/// path after `for` (trait impls), else after the generics (inherent).
+fn impl_spans(code: &[&Tok]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !is_ident(code, i, "impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip leading generic parameters.
+        if is_punct(code, j, "<") {
+            let mut angle = 0i32;
+            while j < code.len() {
+                if is_punct(code, j, "<") {
+                    angle += 1;
+                } else if is_punct(code, j, ">") {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Walk to the opening `{`, tracking the last angle-depth-0 ident
+        // seen, resetting at `for` so the self type wins for trait impls.
+        let mut angle = 0i32;
+        let mut owner: Option<String> = None;
+        let mut body_open = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle <= 0 => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    ";" if angle <= 0 => break,
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && angle == 0 {
+                match t.text.as_str() {
+                    "for" => owner = None,
+                    "where" => break,
+                    _ => owner = Some(t.text.clone()),
+                }
+            }
+            j += 1;
+        }
+        // A `where` clause may sit between the type and the body.
+        if body_open.is_none() {
+            while j < code.len() && !is_punct(code, j, "{") {
+                j += 1;
+            }
+            if j < code.len() {
+                body_open = Some(j);
+            }
+        }
+        let (Some(owner), Some(open)) = (owner, body_open) else {
+            i += 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end = code.len() - 1;
+        for (k, t) in code.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+        }
+        out.push(ImplSpan {
+            owner,
+            start: i,
+            end,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Token index of the `}` closing the first brace group at or after `from`,
+/// or of a `;` at delimiter depth 0 (fn declarations without bodies).
+fn item_end_idx(code: &[&Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut opened_brace = false;
+    for (k, t) in code.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    depth += 1;
+                    opened_brace = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 && opened_brace {
+                        return Some(k);
+                    }
+                }
+                ";" if depth == 0 => return Some(k),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn item_end(code: &[&Tok], from: usize) -> Option<u32> {
+    item_end_idx(code, from).map(|k| code[k].line)
+}
+
+fn is_punct(code: &[&Tok], i: usize, p: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+fn is_ident(code: &[&Tok], i: usize, name: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// `crates/trace/src/clock.rs` -> `clock`.
+fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+}
+
+/// `anton_trace` / `trace` -> `trace`, for names that are workspace crates.
+fn crate_alias(seg: &str) -> Option<&str> {
+    let name = seg.strip_prefix("anton_").unwrap_or(seg);
+    policy::DET_CRATES.iter().copied().find(|&c| c == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let mut g = Graph::default();
+        for (rel, src) in files {
+            let toks = lex(src);
+            g.add_file(rel, &toks, &[]);
+        }
+        g
+    }
+
+    #[test]
+    fn extracts_defs_owners_and_spans() {
+        let g = graph_of(&[(
+            "crates/trace/src/clock.rs",
+            "pub struct Clock { t: u64 }\n\
+             impl Clock {\n    pub fn now(&self) -> u64 {\n        self.t\n    }\n}\n\
+             impl Default for Clock {\n    fn default() -> Clock {\n        tick()\n    }\n}\n\
+             fn tick() -> Clock { Clock { t: 0 } }\n",
+        )]);
+        let names: Vec<String> = (0..g.defs.len()).map(|d| g.label(d)).collect();
+        assert_eq!(names, ["Clock::now", "Clock::default", "tick"]);
+        assert_eq!(g.types.len(), 1);
+        assert_eq!(g.types[0].name, "Clock");
+        assert!(g.defs[0].end_line > g.defs[0].line);
+    }
+
+    #[test]
+    fn resolves_method_calls_across_crates_via_use() {
+        let g = graph_of(&[
+            (
+                "crates/trace/src/clock.rs",
+                "pub struct Clock;\nimpl Clock {\n    pub fn now_ns(&self) -> u64 { 0 }\n}\n",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "use anton_trace::Clock;\n\
+                 pub fn run_cycle(c: &Clock) -> u64 {\n    c.now_ns()\n}\n",
+            ),
+        ]);
+        let call = g.calls.iter().find(|c| c.callee == "now_ns").unwrap();
+        let resolved = g.resolve(call);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(g.label(resolved[0]), "Clock::now_ns");
+    }
+
+    #[test]
+    fn qualified_calls_respect_owner_and_unknown_qualifiers_drop() {
+        let g = graph_of(&[
+            (
+                "crates/trace/src/clock.rs",
+                "pub struct Clock;\nimpl Clock {\n    pub fn new() -> Clock { Clock }\n}\n",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "use anton_trace::Clock;\n\
+                 pub fn a() { let _c = Clock::new(); }\n\
+                 pub fn b() { let _v: Vec<u32> = Vec::new(); }\n",
+            ),
+        ]);
+        let calls: Vec<&CallSite> = g.calls.iter().filter(|c| c.callee == "new").collect();
+        assert_eq!(calls.len(), 2);
+        let by_q = |q: &str| calls.iter().find(|c| c.qualifier.as_deref() == Some(q));
+        assert_eq!(g.resolve(by_q("Clock").unwrap()).len(), 1);
+        assert_eq!(g.resolve(by_q("Vec").unwrap()).len(), 0);
+    }
+
+    #[test]
+    fn self_qualifier_resolves_to_impl_owner() {
+        let g = graph_of(&[(
+            "crates/core/src/engine.rs",
+            "pub struct Sim;\nimpl Sim {\n    fn kick() {}\n    pub fn run_cycle(&self) { Self::kick(); }\n}\n",
+        )]);
+        let call = g.calls.iter().find(|c| c.callee == "kick").unwrap();
+        assert_eq!(call.qualifier.as_deref(), Some("Self"));
+        let r = g.resolve(call);
+        assert_eq!(r.len(), 1);
+        assert_eq!(g.label(r[0]), "Sim::kick");
+    }
+
+    #[test]
+    fn cfg_test_defs_and_calls_are_invisible() {
+        let src = "pub fn shipped() {}\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() { super::shipped(); }\n}\n";
+        let toks = lex(src);
+        let mut g = Graph::default();
+        g.add_file("crates/core/src/engine.rs", &toks, &[(2, 5)]);
+        assert_eq!(g.defs.len(), 1);
+        assert!(g.calls.is_empty());
+    }
+}

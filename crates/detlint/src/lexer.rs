@@ -445,6 +445,83 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_hash_depths_and_partial_terminators() {
+        // `"#` inside an `r##"..."##` literal is *not* a terminator — the
+        // hash count must match exactly. The identifier after the literal
+        // proves the lexer resynchronized at the right byte.
+        let toks = kinds("r##\"ends with \"# then more\"## after");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "after".to_string()));
+
+        // Zero-hash raw string: backslash is literal, not an escape, so
+        // `\"` terminates it.
+        let toks = kinds(r#"r"a \" b"#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[0].1, "r\"a \\\"");
+        assert_eq!(toks[1], (TokKind::Ident, "b".to_string()));
+
+        // Byte raw strings take the same path.
+        let toks = kinds("br#\"Instant \" inside\"# x");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn rule_idents_inside_literals_are_not_idents() {
+        for src in [
+            "r#\"HashMap Instant f64 to_ne_bytes\"#",
+            "\"HashMap Instant f64 to_ne_bytes\"",
+            "/* HashMap /* Instant */ f64 */",
+            "br##\"SystemTime\"##",
+        ] {
+            let idents: Vec<String> = lex(src)
+                .into_iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text)
+                .collect();
+            assert_eq!(idents, Vec::<String>::new(), "leak from {src}");
+        }
+    }
+
+    #[test]
+    fn nested_comment_depth_and_tricky_openers() {
+        // `/*/` opens a comment whose `/` is not also a closer; depth
+        // bookkeeping must survive immediate re-opens.
+        let toks = kinds("/*/ still open */ x /* a /* b */ /* c */ d */ y");
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+        assert_eq!(toks[2].0, TokKind::Comment);
+        assert_eq!(toks[3], (TokKind::Ident, "y".to_string()));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic_or_loop() {
+        // Half-open inputs (truncated files, fuzz soup): the lexer must
+        // consume to EOF without panicking.
+        for src in [
+            "r#\"never closed",
+            "r##\"wrong depth\"#",
+            "\"no close",
+            "/* no close /* deeper",
+            "b'",
+            "'",
+            "r#",
+        ] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn byte_char_with_quote_does_not_desync() {
+        // `b'"'` contains a double quote as the char payload; the lexer
+        // must not treat it as a string opener.
+        let toks = kinds("(br#\"bytes\"#, b'\"') f64");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "f64"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
     fn positions_are_line_accurate() {
         let toks = lex("a\n  b\n// c\nd");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));

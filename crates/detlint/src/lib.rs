@@ -16,7 +16,17 @@
 //! | D3 | `fixpoint` outside `rounding.rs` | lossy integer `as` casts |
 //! | D4 | deterministic crates | `Instant`, `SystemTime`, thread-topology reads |
 //! | D5 | deterministic crates | rayon reductions (`par_iter().sum()` etc.) |
+//! | D6 | workspace call graph | simulation-root call chains reaching a nondeterminism source with no audited boundary in between |
+//! | D7 | deterministic crates outside `fixpoint` | unchecked `+ - * <<` on raw fixed-point values (`.raw()`) |
+//! | D8 | `ckpt` + `trace` payload paths | native-endian byte serialization (`to_ne_bytes`, `transmute`, `as_bytes`, ...) |
 //! | META | everywhere | malformed detlint directives |
+//!
+//! D1–D5, D7, D8 are per-file lexical rules ([`lint_source`]). D6 is the
+//! workspace taint pass ([`lint_sources`]): it parses every deterministic
+//! crate into a call graph ([`graph`]), seeds taint at D1/D4-class raw
+//! sources and at nondeterminism-class `allow` sites, and propagates along
+//! call edges from the `core::engine` cycle roots ([`taint`]). A reachable
+//! tainted item is reported with its full call chain.
 //!
 //! `#[cfg(test)]` regions are exempt, as are `tests/`, `benches/`,
 //! `examples/` and `src/bin` trees: the rules police shipped simulation
@@ -27,18 +37,22 @@
 //! * `// detlint::allow(D4, reason = "...")` — suppresses one rule on the
 //!   directive's line and the next code line. The reason is mandatory.
 //! * `// detlint::boundary(reason = "...")` — declares the next item an
-//!   audited quantization boundary: D1 and D3 are permitted inside it.
-//!   This is how `from_f64`/`to_f64` conversions at the edge of the
-//!   fixed-point world are marked.
+//!   audited quantization boundary: D1 and D3 are permitted inside it,
+//!   and the D6 taint pass treats it as an absorber (taint neither seeds
+//!   inside it nor flows through it). This is how `from_f64`/`to_f64`
+//!   conversions and audited observability clocks are marked.
 //!
 //! Malformed directives (unknown rule id, missing reason) are themselves
 //! violations (META), so a typo cannot silently disable a rule.
 
+pub mod explain;
+pub mod graph;
 pub mod lexer;
 pub mod lint;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
-pub use lint::{lint_workspace, WorkspaceLint};
+pub use lint::{lint_sources, lint_workspace, WorkspaceLint};
 pub use rules::{lint_source, Allow, Boundary, FileLint, Violation};

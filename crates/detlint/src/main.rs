@@ -1,6 +1,11 @@
-//! CLI: `cargo run -p detlint -- check [--root <dir>] [--json <file>] [--no-json]`
+//! CLI:
+//!   `detlint check [--root <dir>] [--json <file>] [--no-json] [--github]`
+//!   `detlint explain <rule>|all`
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//! `--github` additionally emits each violation as a GitHub Actions
+//! `::error file=...,line=...` workflow command so findings annotate the
+//! PR diff inline instead of only landing in the job log.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,11 +27,17 @@ fn main() -> ExitCode {
     let mut root = default_root();
     let mut json: Option<PathBuf> = None;
     let mut no_json = false;
+    let mut github = false;
+    let mut explain: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            // `check` is the only subcommand; it may also be omitted.
+            // `check` is the default subcommand; it may also be omitted.
             "check" => {}
+            "explain" => match args.next() {
+                Some(rule) => explain = Some(rule),
+                None => return usage("explain needs a rule id (D1..D8, META) or `all`"),
+            },
             "--root" => match args.next() {
                 Some(v) => root = PathBuf::from(v),
                 None => return usage("--root needs a value"),
@@ -36,6 +47,7 @@ fn main() -> ExitCode {
                 None => return usage("--json needs a value"),
             },
             "--no-json" => no_json = true,
+            "--github" => github = true,
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -43,6 +55,11 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+
+    if let Some(rule) = explain {
+        return run_explain(&rule);
+    }
+
     let ws = match detlint::lint_workspace(&root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -56,6 +73,24 @@ fn main() -> ExitCode {
             "error[{}]: {}:{}:{}: {}",
             v.rule, v.file, v.line, v.col, v.message
         );
+        if github {
+            // GitHub workflow commands strip at newlines; messages are
+            // single-line by construction, but escape the command's
+            // reserved characters anyway.
+            let esc = |s: &str| {
+                s.replace('%', "%25")
+                    .replace('\r', "%0D")
+                    .replace('\n', "%0A")
+            };
+            println!(
+                "::error file={},line={},col={},title=detlint {}::{}",
+                esc(&v.file),
+                v.line,
+                v.col,
+                v.rule,
+                esc(&v.message)
+            );
+        }
     }
     println!(
         "detlint: {} files scanned, {} violation(s), {} allow(s), {} boundary item(s)",
@@ -64,6 +99,14 @@ fn main() -> ExitCode {
         ws.allows.len(),
         ws.boundaries.len()
     );
+    if !ws.violations.is_empty() {
+        let mut rules: Vec<&str> = ws.violations.iter().map(|v| v.rule).collect();
+        rules.sort();
+        rules.dedup();
+        for rule in rules {
+            println!("detlint: run `detlint explain {rule}` for rationale and examples");
+        }
+    }
 
     if !no_json {
         let path = json.unwrap_or_else(|| root.join("results/detlint_report.json"));
@@ -87,6 +130,31 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_explain(rule: &str) -> ExitCode {
+    if rule.eq_ignore_ascii_case("all") {
+        for (i, r) in detlint::explain::all_rules().iter().enumerate() {
+            if i > 0 {
+                println!("\n{}\n", "=".repeat(72));
+            }
+            if let Some(text) = detlint::explain::render(r) {
+                println!("{text}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let canonical = rule.to_ascii_uppercase();
+    match detlint::explain::render(&canonical) {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => usage(&format!(
+            "unknown rule `{rule}`; expected one of {} or `all`",
+            detlint::explain::all_rules().join(", ")
+        )),
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("detlint: {msg}");
     print_usage();
@@ -94,5 +162,8 @@ fn usage(msg: &str) -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: detlint [check] [--root <dir>] [--json <file>] [--no-json]");
+    eprintln!(
+        "usage: detlint [check] [--root <dir>] [--json <file>] [--no-json] [--github]\n\
+         \x20      detlint explain <rule>|all"
+    );
 }

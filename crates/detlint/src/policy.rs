@@ -65,6 +65,43 @@ pub const D5_THREAD_IDENTS: &[&str] = &["spawn", "scope", "try_iter", "recv", "r
 /// Reduction combinators that are order-sensitive over floats.
 pub const D5_REDUCERS: &[&str] = &["sum", "reduce", "fold", "product"];
 
+/// Simulation-path roots for the cross-crate taint analysis (D6): the
+/// engine entry points every deterministic trajectory flows through. A
+/// function transitively reachable from one of these that calls a tainted,
+/// non-boundary item is a D6 violation.
+pub const D6_ROOTS: &[(&str, &str)] = &[
+    ("crates/core/src/engine.rs", "run_cycle"),
+    ("crates/core/src/engine.rs", "run_cycles"),
+    ("crates/core/src/engine.rs", "inner_step"),
+];
+
+/// Allow directives of these rules seed taint (D6): each one marks a site
+/// where host-dependent behavior was deliberately admitted, so every caller
+/// chain reaching it must pass through an audited `detlint::boundary`.
+/// D1/D3 allows are value-precision escapes — deterministic by construction
+/// — and do not seed.
+pub const TAINT_SEED_RULES: &[&str] = &["D2", "D4", "D5"];
+
+/// Method names whose raw fixed-point result must not feed bare `+ - * <<`
+/// arithmetic outside the fixpoint crate (D7): these expose the two's-
+/// complement representation, where unchecked ops panic in debug builds and
+/// silently wrap in release — breaking bit-exactness symptoms-first.
+pub const D7_RAW_ACCESSORS: &[&str] = &["raw"];
+
+/// Byte-serialization identifiers that are not endian-explicit (D8):
+/// checkpoint and trace payloads must be byte-identical across hosts, so
+/// every integer crossing into bytes goes through `to_le_bytes`/
+/// `from_le_bytes` (or an audited allow for endian-free data like UTF-8).
+pub const D8_IDENTS: &[&str] = &[
+    "to_ne_bytes",
+    "from_ne_bytes",
+    "as_ne_bytes",
+    "transmute",
+    "as_bytes",
+    "align_to",
+    "from_raw_parts",
+];
+
 /// `crates/<name>/...` → `<name>`.
 pub fn crate_of(rel: &str) -> Option<&str> {
     let rest = rel.strip_prefix("crates/")?;
@@ -99,6 +136,26 @@ pub fn d5_applies(rel: &str) -> bool {
     in_src(rel) && crate_of(rel).is_some_and(|c| DET_CRATES.contains(&c))
 }
 
+/// Files included in the cross-crate call graph (D6 taint analysis): the
+/// same set D4 polices — shipped source of the deterministic crates.
+pub fn graph_applies(rel: &str) -> bool {
+    d4_applies(rel)
+}
+
+/// D7 polices raw fixed-point arithmetic everywhere on the simulation path
+/// *except* inside `fixpoint` itself, whose modules are the sanctioned
+/// wrappers (every `.raw()` manipulation there is audited alongside the
+/// rounding primitives).
+pub fn d7_applies(rel: &str) -> bool {
+    in_src(rel) && crate_of(rel).is_some_and(|c| DET_CRATES.contains(&c) && c != "fixpoint")
+}
+
+/// D8 polices byte serialization in the crates whose payloads are
+/// host-portable on-disk formats: checkpoints and traces.
+pub fn d8_applies(rel: &str) -> bool {
+    in_src(rel) && matches!(crate_of(rel), Some("ckpt") | Some("trace"))
+}
+
 /// One-line description per rule, embedded in the JSON report.
 pub fn rule_description(rule: &str) -> &'static str {
     match rule {
@@ -107,9 +164,12 @@ pub fn rule_description(rule: &str) -> &'static str {
         "D3" => "no lossy integer `as` casts in fixpoint outside the audited rounding module",
         "D4" => "no wall-clock or thread-topology reads on the simulation path",
         "D5" => "no order-sensitive parallel reductions on the simulation path",
+        "D6" => "no call chain from a simulation root to a nondeterminism source outside an audited boundary (cross-crate taint)",
+        "D7" => "no unchecked + - * << arithmetic on raw fixed-point values outside the fixpoint wrapper modules",
+        "D8" => "no non-endian-explicit byte serialization (to_ne_bytes/transmute/as_bytes) in checkpoint or trace payload paths",
         "META" => "malformed or incomplete detlint directive",
         _ => "unknown rule",
     }
 }
 
-pub const ALL_RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5", "META"];
+pub const ALL_RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "META"];

@@ -1,5 +1,9 @@
-//! The rule engine: directive parsing, region computation, and the five
-//! determinism rules D1–D5 (plus META for malformed directives).
+//! The rule engine: directive parsing, region computation, and the
+//! per-file determinism rules D1–D5, D7, D8 (plus META for malformed
+//! directives). The cross-crate rule D6 lives in `taint.rs` and runs at
+//! workspace level; this module additionally extracts the taint *seeds*
+//! (raw D1/D4-class tokens and nondeterminism-class allow sites) that
+//! feed it.
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::policy;
@@ -41,16 +45,31 @@ pub struct FileLint {
     pub violations: Vec<Violation>,
     pub allows: Vec<Allow>,
     pub boundaries: Vec<Boundary>,
+    /// Raw D1/D4-class source tokens (outside tests and boundaries) that
+    /// seed the workspace taint pass, with a short description. Allowed
+    /// sites still appear here: an allow silences the per-file diagnostic
+    /// but does not stop taint from flowing to callers.
+    pub taint_sources: Vec<(u32, String)>,
+    /// The exact (rule, line) pairs an allow covers — the directive line
+    /// and the next code line — exposed so the taint pass can honor
+    /// `allow(D6)` edge cuts with identical semantics.
+    pub allowed_lines: Vec<(&'static str, u32)>,
 }
 
 /// Lint a single source text as if it lived at `rel_path` (workspace-relative,
 /// forward slashes). This is the unit the fixture tests drive directly.
 pub fn lint_source(rel_path: &str, src: &str) -> FileLint {
     let toks = lex(src);
+    lint_tokens(rel_path, &toks)
+}
+
+/// Token-level entry point, shared with the workspace pass (which lexes
+/// once per file for both the per-file rules and the call graph).
+pub(crate) fn lint_tokens(rel_path: &str, toks: &[Tok]) -> FileLint {
     let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
 
     let mut out = FileLint::default();
-    let directives = parse_directives(rel_path, &toks, &code, &mut out);
+    let directives = parse_directives(rel_path, toks, &code, &mut out);
     let test_regions = find_test_regions(&code);
 
     let mut allowed_lines: Vec<(&'static str, u32)> = Vec::new();
@@ -60,6 +79,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileLint {
             allowed_lines.push((rule, next));
         }
     }
+    out.allowed_lines = allowed_lines.clone();
 
     let in_tests = |line: u32| test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
     let in_boundary = |line: u32| {
@@ -86,6 +106,26 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileLint {
     if policy::d5_applies(rel_path) {
         rule_d5(rel_path, &code, &mut raw);
     }
+    if policy::d7_applies(rel_path) {
+        rule_d7(rel_path, &code, &mut raw);
+    }
+    if policy::d8_applies(rel_path) {
+        rule_d8(rel_path, &code, &mut raw);
+    }
+
+    // Taint seeds for the workspace pass: every raw D1/D4-class site
+    // outside tests and boundaries, allowed or not.
+    for v in &raw {
+        if matches!(v.rule, "D1" | "D4") && !in_tests(v.line) && !in_boundary(v.line) {
+            let token = v.message.split('`').nth(1).unwrap_or("?");
+            out.taint_sources.push((
+                v.line,
+                format!("{}-class `{}` at {}:{}", v.rule, token, rel_path, v.line),
+            ));
+        }
+    }
+    out.taint_sources.sort();
+    out.taint_sources.dedup();
 
     let mut seen_lines: Vec<(&'static str, u32)> = Vec::new();
     for v in raw {
@@ -120,7 +160,7 @@ struct Directives {
     allows: Vec<(&'static str, u32)>,
 }
 
-const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
+const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8"];
 
 fn intern_rule(name: &str) -> Option<&'static str> {
     RULE_IDS.iter().find(|&&r| r == name).copied()
@@ -322,7 +362,7 @@ fn scan_item(code: &[&Tok]) -> Option<u32> {
 
 /// Line spans of items annotated `#[cfg(test)]` (typically `mod tests`),
 /// where the determinism rules do not apply.
-fn find_test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn find_test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < code.len() {
@@ -558,6 +598,154 @@ fn rule_d5(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
                 push(raw, "D5", file, t, message);
                 break;
             }
+        }
+    }
+}
+
+/// D7: unchecked `+ - * <<` arithmetic on raw fixed-point values outside
+/// the fixpoint wrapper modules. The lexical signature is an arithmetic
+/// operator adjacent to a `.raw()` read: outside `crates/fixpoint`, the
+/// sanctioned operations are the wrapping/rounding wrappers, so any bare
+/// operator on the two's-complement representation panics in debug builds
+/// and silently wraps in release — breaking bit-exactness symptoms-first.
+fn rule_d7(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident
+            || !policy::D7_RAW_ACCESSORS.contains(&t.text.as_str())
+            || i == 0
+            || !is_punct(code, i - 1, ".")
+            || !is_punct(code, i + 1, "(")
+            || !is_punct(code, i + 2, ")")
+        {
+            continue;
+        }
+        let after = op_at(code, i + 3);
+        // A `.raw()` at token 1 has no receiver expression before the dot
+        // (degenerate input); only walk backward when one can exist.
+        let before = if i < 2 {
+            None
+        } else {
+            receiver_start(code, i - 2).and_then(|s| {
+                if s == 0 {
+                    None
+                } else {
+                    op_ending_at(code, s - 1)
+                }
+            })
+        };
+        if let Some(op) = after.or(before) {
+            push(
+                raw,
+                "D7",
+                file,
+                t,
+                format!(
+                    "raw fixed-point value from `.{}()` feeds unchecked `{op}`: debug \
+                     builds panic on overflow and release builds wrap outside the \
+                     sanctioned two's-complement wrappers; use the fixpoint wrapping/\
+                     rounding operations (wrapping_add, mul, rne_shr_*) instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Is the token at `i` (looking forward) a D7-relevant binary operator?
+fn op_at(code: &[&Tok], i: usize) -> Option<&'static str> {
+    if !code.get(i).is_some_and(|t| t.kind == TokKind::Punct) {
+        return None;
+    }
+    match code[i].text.as_str() {
+        "+" => Some("+"),
+        "-" => Some("-"),
+        "*" => Some("*"),
+        "<" if is_punct(code, i + 1, "<") => Some("<<"),
+        _ => None,
+    }
+}
+
+/// Is the token at `i` (looking backward) a D7-relevant operator? `<<`
+/// lexes as two `<` puncts, so check the pair ending at `i`.
+fn op_ending_at(code: &[&Tok], i: usize) -> Option<&'static str> {
+    if !code.get(i).is_some_and(|t| t.kind == TokKind::Punct) {
+        return None;
+    }
+    match code[i].text.as_str() {
+        "+" => Some("+"),
+        "*" => Some("*"),
+        "<" if i > 0 && is_punct(code, i - 1, "<") => Some("<<"),
+        // A lone leading `-` may be unary negation — which is *also*
+        // unchecked on the raw representation, so it is flagged too.
+        "-" => Some("-"),
+        _ => None,
+    }
+}
+
+/// Walk backward over the receiver expression of a method call whose `.`
+/// sits at `dot + 1`: path segments, field accesses, index and call
+/// suffixes. Returns the index of the receiver's first token.
+fn receiver_start(code: &[&Tok], mut j: usize) -> Option<usize> {
+    loop {
+        let t = code.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                let open = if t.text == ")" { "(" } else { "[" };
+                let mut depth = 0i32;
+                loop {
+                    let u = code.get(j)?;
+                    if u.kind == TokKind::Punct {
+                        if u.text == t.text {
+                            depth += 1;
+                        } else if u.text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                if j == 0 {
+                    return Some(0);
+                }
+                j -= 1;
+            }
+            (TokKind::Ident, _) | (TokKind::Int, _) => {
+                if j >= 2 && is_punct(code, j - 1, ".") {
+                    j -= 2;
+                } else if j >= 3 && is_punct(code, j - 1, ":") && is_punct(code, j - 2, ":") {
+                    j -= 3;
+                } else {
+                    return Some(j);
+                }
+            }
+            _ => return Some(j + 1),
+        }
+    }
+}
+
+/// D8: non-endian-explicit byte serialization in checkpoint/trace payload
+/// paths. On-disk formats must be byte-identical across hosts; native-
+/// endian encodes, `transmute`, and untyped byte views make the payload
+/// depend on the writer's architecture.
+fn rule_d8(file: &str, code: &[&Tok], raw: &mut Vec<Violation>) {
+    for t in code {
+        if t.kind == TokKind::Ident && policy::D8_IDENTS.contains(&t.text.as_str()) {
+            push(
+                raw,
+                "D8",
+                file,
+                t,
+                format!(
+                    "`{}` in a host-portable payload path: byte layout must not \
+                     depend on the writer's architecture; use to_le_bytes/\
+                     from_le_bytes (or allow with a proof the bytes are \
+                     endian-free, e.g. UTF-8)",
+                    t.text
+                ),
+            );
         }
     }
 }

@@ -1,0 +1,216 @@
+//! Cross-crate nondeterminism taint analysis (rule D6).
+//!
+//! Per-file rules D1–D5 see tokens; they cannot see a sanctioned
+//! `allow(D4)` leaking host-dependent values through an ordinary function
+//! call. This pass makes the policy flow-aware:
+//!
+//! * **Sources.** Every D4-class identifier (wall clock, thread topology)
+//!   and every D1-class float token in a bit-exact file seeds taint in its
+//!   enclosing `fn` — *whether or not* a `detlint::allow` silences the
+//!   per-file diagnostic. Allow directives of the nondeterminism-class
+//!   rules (D2/D4/D5) seed taint themselves: an allow says "this site is
+//!   sound *here*", not "values derived from it may flow anywhere". A seed
+//!   inside a `struct`/`enum` body (an allowed nondeterministic field)
+//!   taints the *type*: every method of that type becomes a source.
+//! * **Boundaries.** An item under `detlint::boundary(reason = ...)`
+//!   absorbs taint: it is the audited point past which nondeterminism is
+//!   structurally unable to influence simulation state (e.g. the trace
+//!   clock read whose value only ever lands in observability payload).
+//!   Boundary items never become tainted and never propagate.
+//! * **Propagation.** Taint flows callee -> caller along the call graph to
+//!   a fixed point. A call edge can be cut with `detlint::allow(D6,
+//!   reason = ...)` on the call-site line.
+//! * **Violation.** A call chain from a simulation root
+//!   ([`policy::D6_ROOTS`], the engine cycle entry points) to a seeded,
+//!   non-boundary item is reported as D6 with the full chain, anchored at
+//!   the call site entering the source.
+
+use crate::graph::Graph;
+use crate::policy;
+use crate::rules::Violation;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Per-file inputs to the taint pass, assembled by `lint.rs` from the same
+/// token stream and directive parse the per-file rules used.
+#[derive(Debug, Default, Clone)]
+pub struct FileSeeds {
+    /// Workspace-relative path; must match the graph's file set.
+    pub file: String,
+    /// `detlint::boundary` spans (directive line ..= item end line).
+    pub boundaries: Vec<(u32, u32)>,
+    /// Raw D1/D4-class source tokens: (line, description).
+    pub sources: Vec<(u32, String)>,
+    /// Nondeterminism-class allow sites: (line, description).
+    pub allow_seeds: Vec<(u32, String)>,
+    /// Lines where `detlint::allow(D6)` cuts outgoing call edges.
+    pub d6_allowed_lines: Vec<u32>,
+}
+
+pub fn analyze(graph: &Graph, seeds: &[FileSeeds]) -> Vec<Violation> {
+    let file_index: BTreeMap<&str, usize> = graph
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.as_str(), i))
+        .collect();
+
+    // Boundary defs: definition line covered by a boundary span.
+    let mut boundary = vec![false; graph.defs.len()];
+    for fs in seeds {
+        let Some(&fi) = file_index.get(fs.file.as_str()) else {
+            continue;
+        };
+        for (d, def) in graph.defs.iter().enumerate() {
+            if def.file == fi
+                && fs
+                    .boundaries
+                    .iter()
+                    .any(|&(a, b)| (a..=b).contains(&def.line))
+            {
+                boundary[d] = true;
+            }
+        }
+    }
+
+    // Seed defs and seed types.
+    let mut seed_why: BTreeMap<usize, String> = BTreeMap::new();
+    let mut tainted_types: BTreeMap<(usize, String), String> = BTreeMap::new();
+    for fs in seeds {
+        let Some(&fi) = file_index.get(fs.file.as_str()) else {
+            continue;
+        };
+        let marks = fs.sources.iter().chain(fs.allow_seeds.iter());
+        for (line, why) in marks {
+            if let Some(d) = graph.def_at(fi, *line) {
+                if !boundary[d] {
+                    seed_why.entry(d).or_insert_with(|| why.clone());
+                }
+                continue;
+            }
+            // Not inside a fn: a field or const inside a type definition
+            // taints the type itself.
+            for ty in graph.types.iter().filter(|t| t.file == fi) {
+                if (ty.line..=ty.end_line).contains(line) {
+                    tainted_types
+                        .entry((fi, ty.name.clone()))
+                        .or_insert_with(|| why.clone());
+                }
+            }
+        }
+    }
+    for ((_, ty_name), why) in &tainted_types {
+        for (d, def) in graph.defs.iter().enumerate() {
+            if def.owner.as_deref() == Some(ty_name.as_str()) && !boundary[d] {
+                seed_why
+                    .entry(d)
+                    .or_insert_with(|| format!("method of `{ty_name}`, whose {why}"));
+            }
+        }
+    }
+
+    // Adjacency with call-site anchors, D6-allowed edges cut.
+    let d6_allowed: BTreeSet<(usize, u32)> = seeds
+        .iter()
+        .filter_map(|fs| file_index.get(fs.file.as_str()).map(|&fi| (fi, fs)))
+        .flat_map(|(fi, fs)| fs.d6_allowed_lines.iter().map(move |&l| (fi, l)))
+        .collect();
+    let mut adj: Vec<Vec<(usize, u32, u32)>> = vec![Vec::new(); graph.defs.len()];
+    for call in &graph.calls {
+        let caller_file = graph.defs[call.caller].file;
+        if d6_allowed.contains(&(caller_file, call.line)) {
+            continue;
+        }
+        for target in graph.resolve(call) {
+            if target == call.caller || boundary[target] {
+                continue;
+            }
+            adj[call.caller].push((target, call.line, call.col));
+        }
+    }
+    for edges in &mut adj {
+        edges.sort();
+        edges.dedup_by_key(|e| e.0);
+    }
+
+    // Roots.
+    let roots: Vec<usize> = policy::D6_ROOTS
+        .iter()
+        .filter_map(|(file, name)| {
+            let &fi = file_index.get(file)?;
+            graph
+                .defs
+                .iter()
+                .position(|d| d.file == fi && d.name == *name)
+        })
+        .filter(|&d| !boundary[d])
+        .collect();
+
+    // BFS from the roots, recording parents, collecting one violation per
+    // seeded def reached.
+    let mut parent: BTreeMap<usize, (usize, u32, u32)> = BTreeMap::new();
+    let mut visited: BTreeSet<usize> = roots.iter().copied().collect();
+    let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+    let mut hits: Vec<usize> = Vec::new();
+    while let Some(d) = queue.pop_front() {
+        if seed_why.contains_key(&d) {
+            hits.push(d);
+        }
+        for &(g, line, col) in &adj[d] {
+            if visited.insert(g) {
+                parent.insert(g, (d, line, col));
+                queue.push_back(g);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for s in hits {
+        // Reconstruct root -> ... -> s.
+        let mut chain = vec![s];
+        let mut cur = s;
+        while let Some(&(p, _, _)) = parent.get(&cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let rendered: Vec<String> = chain
+            .iter()
+            .map(|&d| {
+                let def = &graph.defs[d];
+                format!(
+                    "{} ({}:{})",
+                    graph.label(d),
+                    graph.files[def.file],
+                    def.line
+                )
+            })
+            .collect();
+        let why = &seed_why[&s];
+        // Anchor at the call site entering the source; a root that is
+        // itself a source anchors at its own definition.
+        let (file, line, col) = match parent.get(&s) {
+            Some(&(p, line, col)) => (graph.files[graph.defs[p].file].clone(), line, col),
+            None => {
+                let def = &graph.defs[s];
+                (graph.files[def.file].clone(), def.line, 1)
+            }
+        };
+        out.push(Violation {
+            rule: "D6",
+            file,
+            line,
+            col,
+            message: format!(
+                "simulation path reaches nondeterminism source `{}` outside an audited \
+                 boundary: {} [source: {}]; mark the audited absorbing item with \
+                 `detlint::boundary(reason = ...)` or cut this edge with \
+                 `detlint::allow(D6, reason = ...)`",
+                graph.label(s),
+                rendered.join(" -> "),
+                why
+            ),
+        });
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}

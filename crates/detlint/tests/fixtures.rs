@@ -209,6 +209,147 @@ fn clean_fixed_point_code_passes() {
     assert_eq!(lint.violations, []);
 }
 
+#[test]
+fn d6_taints_across_an_intermediate_call_invisible_per_file() {
+    // The canonical leak the per-file rules cannot see: every file lints
+    // clean in isolation (the source's Instant is behind an allow(D4)),
+    // but engine -> helper -> source is a chain from a simulation root
+    // into a nondeterminism source with no boundary in between.
+    let files = vec![
+        (
+            "crates/core/src/engine.rs".to_string(),
+            fixture("d6_engine.rs"),
+        ),
+        (
+            "crates/nt/src/helper.rs".to_string(),
+            fixture("d6_helper.rs"),
+        ),
+        (
+            "crates/trace/src/stamp.rs".to_string(),
+            fixture("d6_source.rs"),
+        ),
+    ];
+    let per_file_clean = files
+        .iter()
+        .all(|(p, s)| lint_source(p, s).violations.is_empty());
+    assert!(per_file_clean, "each file must be clean in isolation");
+
+    let ws = detlint::lint_sources(&files);
+    let d6: Vec<_> = ws.violations.iter().filter(|v| v.rule == "D6").collect();
+    assert_eq!(d6.len(), 1, "violations: {:?}", ws.violations);
+    let v = d6[0];
+    assert_eq!(v.file, "crates/nt/src/helper.rs");
+    assert!(v.message.contains("run_cycle"), "{}", v.message);
+    assert!(v.message.contains("pace_budget"), "{}", v.message);
+    assert!(v.message.contains("host_jitter_ns"), "{}", v.message);
+    assert!(
+        v.message
+            .contains("D4-class `Instant` at crates/trace/src/stamp.rs"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn d6_boundary_absorbs_the_taint() {
+    // Same chain, but the source item is declared an audited boundary:
+    // taint is absorbed and the chain is sanctioned.
+    let files = vec![
+        (
+            "crates/core/src/engine.rs".to_string(),
+            fixture("d6_engine.rs"),
+        ),
+        (
+            "crates/nt/src/helper.rs".to_string(),
+            fixture("d6_helper.rs"),
+        ),
+        (
+            "crates/trace/src/stamp.rs".to_string(),
+            fixture("d6_source_boundary.rs"),
+        ),
+    ];
+    let ws = detlint::lint_sources(&files);
+    assert_eq!(ws.violations, [], "boundary must absorb the chain");
+}
+
+#[test]
+fn d6_allow_on_the_call_site_cuts_the_edge() {
+    // allow(D6) on the edge that enters the source sanctions exactly that
+    // call without blessing the source for other callers.
+    let helper = fixture("d6_helper.rs").replace(
+        "    1 + host_jitter_ns(step) % 2",
+        "    // detlint::allow(D6, reason = \"jitter only widens the pacing budget; the result gates sleep, not state\")\n    1 + host_jitter_ns(step) % 2",
+    );
+    assert!(helper.contains("allow(D6"), "fixture edit must apply");
+    let files = vec![
+        (
+            "crates/core/src/engine.rs".to_string(),
+            fixture("d6_engine.rs"),
+        ),
+        ("crates/nt/src/helper.rs".to_string(), helper),
+        (
+            "crates/trace/src/stamp.rs".to_string(),
+            fixture("d6_source.rs"),
+        ),
+    ];
+    let ws = detlint::lint_sources(&files);
+    assert_eq!(ws.violations, [], "allow(D6) must cut the edge");
+}
+
+#[test]
+fn d7_flags_unchecked_raw_fixed_point_arithmetic() {
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d7_raw_arith.rs");
+    let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, ["D7", "D7", "D7", "D7"], "hits: {hits:?}");
+}
+
+#[test]
+fn d7_exempts_fixpoint_wrappers_and_sanctioned_shapes() {
+    // Inside fixpoint the wrappers themselves are the sanctioned home of
+    // raw arithmetic; outside, wrapping_* / shifts-right / comparisons and
+    // an audited allow(D7) are all clean.
+    // (the fixture's `as usize` index trips D3 under fixpoint — only D7's
+    // silence matters here)
+    let fixpoint_hits = rules_hit("crates/fixpoint/src/fx32.rs", "fail_d7_raw_arith.rs");
+    assert!(
+        fixpoint_hits.iter().all(|(r, _)| r != "D7"),
+        "hits: {fixpoint_hits:?}"
+    );
+    assert_eq!(
+        rules_hit("crates/core/src/good.rs", "pass_d7_wrapping.rs"),
+        []
+    );
+}
+
+#[test]
+fn d8_flags_native_endian_bytes_in_payload_paths() {
+    let hits = rules_hit("crates/ckpt/src/bad.rs", "fail_d8_ne_bytes.rs");
+    let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, ["D8", "D8", "D8"], "hits: {hits:?}");
+}
+
+#[test]
+fn d8_scope_is_ckpt_and_trace_only() {
+    // The same source outside the payload crates is not D8's business.
+    assert_eq!(
+        rules_hit("crates/core/src/bad.rs", "fail_d8_ne_bytes.rs"),
+        []
+    );
+    assert_eq!(
+        rules_hit("crates/trace/src/good.rs", "pass_d8_le_bytes.rs"),
+        []
+    );
+}
+
+#[test]
+fn raw_strings_and_nested_comments_do_not_smuggle_violations() {
+    let lint = lint_source(
+        "crates/core/src/good.rs",
+        &fixture("pass_raw_string_smuggle.rs"),
+    );
+    assert_eq!(lint.violations, []);
+}
+
 /// The real workspace must be clean: this is the same gate as
 /// `cargo run -p detlint -- check`, run as a plain unit test so `cargo test`
 /// alone already enforces the determinism policy.
