@@ -13,6 +13,12 @@
 //! * **measured** (factor 50) — host wall-clock: legitimately varies
 //!   between machines and runs, so only catastrophic slowdowns gate.
 //!
+//! Two additions on top of the baseline diff: the smoke geometry's
+//! single-rank step time must stay under an absolute checked-in ceiling
+//! ([`MS_PER_STEP_CEILING`]), and every passing gate run appends its
+//! measured step times to `results/PERF_trend.json` so the perf
+//! trajectory across PRs stays reviewable.
+//!
 //! `cargo run --release -p anton-bench --bin perfgate` — gate (exit 1 on
 //! violation); `--update` re-snapshots the baseline from the current
 //! artifacts after an intentional change.
@@ -22,9 +28,18 @@ use anton_bench::json::Json;
 const BENCH_PATH: &str = "results/BENCH_scaling.json";
 const TRACE_PATH: &str = "results/TRACE_scaling.json";
 const BASELINE_PATH: &str = "results/PERF_baseline.json";
+const TREND_PATH: &str = "results/PERF_trend.json";
 
 const MODELED_REL_TOL: f64 = 1e-6;
 const MEASURED_FACTOR: f64 = 50.0;
+
+/// Absolute ceiling on the smoke waterbox's single-rank step time. The
+/// batched tile pipeline landed at roughly half this on the reference
+/// machine; the gap absorbs slower CI hosts while still failing loudly if
+/// the range-limited phase ever falls back off the batched path.
+const MS_PER_STEP_CEILING: f64 = 29.0;
+/// Atom count of the smoke geometry the ceiling is calibrated for.
+const CEILING_ATOMS: u64 = 1020;
 
 fn read_json(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
@@ -143,6 +158,9 @@ fn gate_bench(g: &mut Gate, base: &Json, cur: &Json) {
         };
         g.exact_str(&ctx, "state_checksum", b, c);
         g.exact_u64(&ctx, "links_per_rank", b, c);
+        for key in ["match_candidates", "match_pairs", "match_batches"] {
+            g.exact_u64(&ctx, key, b, c);
+        }
         for key in [
             "kb_per_step_rank",
             "mean_hops",
@@ -155,6 +173,28 @@ fn gate_bench(g: &mut Gate, base: &Json, cur: &Json) {
         }
         for key in ["ms_per_step", "lr_ms_per_eval"] {
             g.measured(&ctx, key, b, c);
+        }
+    }
+    // Absolute ceiling on the smoke geometry's single-rank step time, on
+    // top of the baseline-relative measured tier: the HTIS-shaped batch
+    // pipeline's headline speedup must not silently erode.
+    if cur.get("atoms").and_then(Json::as_u64) == Some(CEILING_ATOMS) {
+        g.checks += 1;
+        let smoke = cur_rows.iter().find(|r| {
+            r.get("nodes").and_then(Json::as_u64) == Some(1)
+                && r.get("threads").and_then(Json::as_u64) == Some(1)
+        });
+        match smoke
+            .and_then(|r| r.get("ms_per_step"))
+            .and_then(Json::as_f64)
+        {
+            Some(ms) if ms <= MS_PER_STEP_CEILING => {}
+            Some(ms) => g.failures.push(format!(
+                "bench[1n/1t]: ms_per_step {ms} exceeds the {MS_PER_STEP_CEILING} ceiling"
+            )),
+            None => g
+                .failures
+                .push("bench[1n/1t]: no ms_per_step for the ceiling check".into()),
         }
     }
 }
@@ -190,6 +230,7 @@ fn gate_trace(g: &mut Gate, base: &Json, cur: &Json) {
             g.exact_u64(&pctx, "messages", bp, cp);
             g.exact_u64(&pctx, "bytes", bp, cp);
             g.modeled(&pctx, "modeled_us", bp, cp);
+            g.measured(&pctx, "wall_us", bp, cp);
         }
     }
     // Checkpoint cost of the traced 8-node row: the snapshot encoding is
@@ -206,6 +247,51 @@ fn gate_trace(g: &mut Gate, base: &Json, cur: &Json) {
             .failures
             .push("trace: missing 'checkpoint' section".into()),
     }
+}
+
+/// Append this run's measured step times to the checked-in trend log, so
+/// the perf trajectory across PRs is a first-class artifact instead of
+/// archaeology over old baselines. One entry per gate run; rows in fixed
+/// (nodes, threads) benchmark order; key order and formatting fixed, so
+/// regenerating a run appends a byte-identical entry.
+fn append_trend(bench: &Json) {
+    let atoms = bench.get("atoms").and_then(Json::as_u64).unwrap_or(0);
+    let steps = bench
+        .get("steps_per_row")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let rows = bench.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut entry = format!("{{\"atoms\": {atoms}, \"steps_per_row\": {steps}, \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let get_u = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let get_f = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        entry.push_str(&format!(
+            "{}{{\"nodes\": {}, \"threads\": {}, \"ms_per_step\": {:.6}, \
+             \"lr_ms_per_eval\": {:.6}}}",
+            if i == 0 { "" } else { ", " },
+            get_u("nodes"),
+            get_u("threads"),
+            get_f("ms_per_step"),
+            get_f("lr_ms_per_eval"),
+        ));
+    }
+    entry.push_str("]}");
+
+    let empty = "{\n  \"schema\": \"perf-trend/v1\",\n  \"runs\": [\n  ]\n}\n".to_string();
+    let current = std::fs::read_to_string(TREND_PATH).unwrap_or(empty);
+    let n_runs = Json::parse(&current)
+        .ok()
+        .and_then(|j| j.get("runs").and_then(Json::as_arr).map(<[Json]>::len))
+        .unwrap_or_else(|| panic!("{TREND_PATH}: not a perf-trend document"));
+    let tail = "\n  ]\n}";
+    let Some(head) = current.trim_end().strip_suffix(tail) else {
+        panic!("{TREND_PATH}: unrecognized layout; regenerate it");
+    };
+    let sep = if n_runs == 0 { "" } else { "," };
+    let next = format!("{head}{sep}\n    {entry}{tail}\n");
+    Json::parse(&next).unwrap_or_else(|e| panic!("internal: bad trend JSON produced: {e}"));
+    std::fs::write(TREND_PATH, &next).unwrap_or_else(|e| panic!("cannot write {TREND_PATH}: {e}"));
+    println!("appended run #{} to {TREND_PATH}", n_runs + 1);
 }
 
 fn update_baseline() {
@@ -252,6 +338,7 @@ fn main() {
             "perf gate: {} checks against {BASELINE_PATH} — all passed",
             g.checks
         );
+        append_trend(&bench);
     } else {
         eprintln!(
             "perf gate: {} of {} checks FAILED:",

@@ -4,7 +4,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic            b"ANTCKPT1"
-//!      8     4  version          u32 (currently 1)
+//!      8     4  version          u32 (currently 2)
 //!     12     4  flags            u32 (reserved, 0)
 //!     16     8  step             u64 inner-step counter at capture
 //!     24     8  n_atoms          u64
@@ -25,8 +25,9 @@ use crate::fnv::fnv1a;
 
 /// File magic: "ANTon ChecKPoinT", format generation 1.
 pub const MAGIC: [u8; 8] = *b"ANTCKPT1";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 widened the exchange-counter block
+/// from 13 to 16 words (match-stage batch census).
+pub const VERSION: u32 = 2;
 /// Total encoded header size in bytes.
 pub const HEADER_LEN: usize = 64;
 /// Byte range covered by `header_fnv`.

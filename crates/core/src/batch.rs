@@ -1,0 +1,308 @@
+//! Match batches and cell tiling for the HTIS-shaped range-limited phase.
+//!
+//! On the ASIC each PPIP fronts eight match units (paper §2.2): candidate
+//! pairs stream out of the position tiles, survive a low-precision distance
+//! check and the exact cutoff test, and enter the evaluator as 8-wide
+//! bundles. This module is the software shape of that stage: a
+//! [`BatchQueue`] packs cutoff survivors into [`PairBatch`] lanes (with a
+//! geometry sidecar for the force scatter), and [`CellTiling`] is the
+//! static power-of-two cell decomposition the single-rank pipeline streams
+//! tile pairs from. Everything is allocation-free in steady state and
+//! bitwise deterministic: the queue records pairs in enumeration order,
+//! and batch lane order is the canonical force-merge order (detlint D5).
+
+use anton_machine::{PairBatch, MATCH_WIDTH};
+
+/// Counts of work streamed through one match pass (merged into
+/// [`ExchangeCounters`](anton_machine::perf::ExchangeCounters) in fixed
+/// rank order by the pipeline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCensus {
+    /// Candidate pairs examined (tile-pair lanes entering the match stage).
+    pub candidates: u64,
+    /// Pairs that survived the exact cutoff + exclusion tests into lanes.
+    pub pairs: u64,
+    /// Batches handed to the evaluator (including the partial tail).
+    pub batches: u64,
+}
+
+/// Geometry sidecar of one [`PairBatch`]: which atoms each lane couples
+/// and the exact Q20 minimum-image displacement, for the force scatter
+/// and virial. The PPIP model never sees this — like the hardware, it
+/// only receives r² and kernel parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchMeta {
+    pub i: [u32; MATCH_WIDTH],
+    pub j: [u32; MATCH_WIDTH],
+    pub d: [[i64; 3]; MATCH_WIDTH],
+}
+
+impl BatchMeta {
+    const EMPTY: BatchMeta = BatchMeta {
+        i: [0; MATCH_WIDTH],
+        j: [0; MATCH_WIDTH],
+        d: [[0; 3]; MATCH_WIDTH],
+    };
+}
+
+/// An append-only queue of match batches, refilled every force evaluation
+/// (buffers retained across [`BatchQueue::begin`] calls). Pairs fill lanes
+/// in enumeration order; the final batch may be partial, its mask covering
+/// only the filled lanes.
+#[derive(Debug, Default)]
+pub struct BatchQueue {
+    batches: Vec<PairBatch>,
+    metas: Vec<BatchMeta>,
+    /// Lanes filled in the last batch (0 when empty or exactly full).
+    fill: usize,
+    pub census: BatchCensus,
+}
+
+impl BatchQueue {
+    /// Reset for a new match pass, keeping capacity.
+    pub fn begin(&mut self) {
+        self.batches.clear();
+        self.metas.clear();
+        self.fill = 0;
+        self.census = BatchCensus::default();
+    }
+
+    /// Append one cutoff-surviving pair. One argument per match-queue
+    /// field: the four evaluator lanes plus the scatter sidecar.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn push(
+        &mut self,
+        r2_q20: i64,
+        qq: f64,
+        lj_a: f64,
+        lj_b: f64,
+        i: u32,
+        j: u32,
+        d: [i64; 3],
+    ) {
+        if self.fill == 0 {
+            self.batches.push(PairBatch::EMPTY);
+            self.metas.push(BatchMeta::EMPTY);
+            self.census.batches += 1;
+        }
+        let lane = self.fill;
+        let batch = self.batches.last_mut().expect("batch pushed above");
+        batch.r2_q20[lane] = r2_q20;
+        batch.qq[lane] = qq;
+        batch.lj_a[lane] = lj_a;
+        batch.lj_b[lane] = lj_b;
+        batch.mask |= 1u8 << lane;
+        let meta = self.metas.last_mut().expect("meta pushed above");
+        meta.i[lane] = i;
+        meta.j[lane] = j;
+        meta.d[lane] = d;
+        self.fill = (lane + 1) % MATCH_WIDTH;
+        self.census.pairs += 1;
+    }
+
+    /// The queued batches with their sidecars, in fill order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (&PairBatch, &BatchMeta)> {
+        self.batches.iter().zip(&self.metas)
+    }
+
+    /// Every queued pair as `(min, max)` atom ids, for set comparisons.
+    #[cfg(test)]
+    pub(crate) fn matched_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (batch, meta) in self.iter() {
+            for lane in 0..MATCH_WIDTH {
+                if batch.mask & (1u8 << lane) != 0 {
+                    let (i, j) = (meta.i[lane], meta.j[lane]);
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Static power-of-two cell decomposition for the single-rank pipeline.
+///
+/// Per axis the cell count is the largest power of two whose cell width
+/// still covers `reach` (capped at 16 cells so the conservative pair list
+/// below stays small), so a particle's cell index is a plain shift of its
+/// raw fraction bits — no floating point between positions and tiles. The
+/// unordered cell-pair list is fixed at construction: a pair of cells is
+/// listed unless the minimum separation between them (circular cell
+/// distance minus one, times the cell width) already exceeds `reach`, so
+/// the listed tile pairs are a strict superset of every interacting pair.
+#[derive(Clone, Debug)]
+pub struct CellTiling {
+    log2_dims: [u32; 3],
+    /// Unordered cell pairs `(a, b)` with `a <= b` that can hold an
+    /// interacting pair.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl CellTiling {
+    pub fn build(edge: [f64; 3], reach: f64) -> CellTiling {
+        assert!(reach > 0.0);
+        let mut log2_dims = [0u32; 3];
+        for k in 0..3 {
+            let mut m = 0u32;
+            while m < 4 && edge[k] / (1u64 << (m + 1)) as f64 >= reach {
+                m += 1;
+            }
+            log2_dims[k] = m;
+        }
+        let dims = [
+            1u32 << log2_dims[0],
+            1u32 << log2_dims[1],
+            1u32 << log2_dims[2],
+        ];
+        let width = [
+            edge[0] / dims[0] as f64,
+            edge[1] / dims[1] as f64,
+            edge[2] / dims[2] as f64,
+        ];
+        // Minimum separation on one axis between cells `ca` and `cb`:
+        // zero for same/adjacent cells (circular), else (circ − 1)·width.
+        let gap = |ca: u32, cb: u32, k: usize| {
+            let d = ca.abs_diff(cb);
+            let circ = d.min(dims[k] - d);
+            (circ.saturating_sub(1)) as f64 * width[k]
+        };
+        let n = dims[0] * dims[1] * dims[2];
+        let coord = |c: u32| {
+            let x = c % dims[0];
+            let y = (c / dims[0]) % dims[1];
+            let z = c / (dims[0] * dims[1]);
+            [x, y, z]
+        };
+        let mut pairs = Vec::new();
+        for a in 0..n {
+            let ca = coord(a);
+            for b in a..n {
+                let cb = coord(b);
+                let g2: f64 = (0..3).map(|k| gap(ca[k], cb[k], k).powi(2)).sum();
+                if g2 <= reach * reach {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        CellTiling { log2_dims, pairs }
+    }
+
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        1usize << (self.log2_dims[0] + self.log2_dims[1] + self.log2_dims[2])
+    }
+
+    /// Cell of a particle from its raw signed fraction bits: bias to
+    /// unsigned order (so cell 0 starts at fraction 0 = box corner) and
+    /// keep the top bits. Integer-exact — binning can never disagree with
+    /// the fraction arithmetic the match stage runs on.
+    #[inline]
+    pub fn cell_of(&self, raw: [i32; 3]) -> usize {
+        let bin = |r: i32, m: u32| ((((r as u32) ^ 0x8000_0000) as u64) >> (32 - m)) as usize;
+        let cx = bin(raw[0], self.log2_dims[0]);
+        let cy = bin(raw[1], self.log2_dims[1]);
+        let cz = bin(raw[2], self.log2_dims[2]);
+        (((cz << self.log2_dims[1]) | cy) << self.log2_dims[0]) | cx
+    }
+
+    /// The static conservative cell-pair list.
+    #[inline]
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_packs_lanes_and_masks_partial_tail() {
+        let mut q = BatchQueue::default();
+        q.begin();
+        for p in 0..11u32 {
+            q.push(p as i64 + 1, 0.5, 1.0, 2.0, p, p + 100, [p as i64, 0, -1]);
+        }
+        assert_eq!(q.census.pairs, 11);
+        assert_eq!(q.census.batches, 2);
+        let got: Vec<_> = q.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.mask, 0xff);
+        assert_eq!(got[1].0.mask, 0b0000_0111);
+        assert_eq!(got[1].1.i[2], 10);
+        assert_eq!(got[1].1.j[2], 110);
+        assert_eq!(got[0].0.r2_q20[7], 8);
+        // begin() resets, keeping nothing from the previous pass.
+        q.begin();
+        assert_eq!(q.iter().count(), 0);
+        assert_eq!(q.census, BatchCensus::default());
+    }
+
+    #[test]
+    fn tiling_dims_cover_reach_and_cap() {
+        // 22 Å box, 7.7 Å reach: 2 cells per axis (11 Å ≥ 7.7, 5.5 < 7.7).
+        let t = CellTiling::build([22.0; 3], 7.7);
+        assert_eq!(t.cell_count(), 8);
+        // Every cell pair can interact at this size: C(8,2) + 8 = 36.
+        assert_eq!(t.pairs().len(), 36);
+        // 36 Å box: 4 cells per axis; cells two apart (gap 9 Å) are pruned.
+        let t = CellTiling::build([36.0; 3], 7.7);
+        assert_eq!(t.cell_count(), 64);
+        assert!(t.pairs().len() < 64 * 65 / 2, "no pruning happened");
+        // Tiny box: one cell, one pair.
+        let t = CellTiling::build([6.0; 3], 7.7);
+        assert_eq!(t.cell_count(), 1);
+        assert_eq!(t.pairs(), &[(0, 0)]);
+        // Huge box: per-axis cap at 16 cells.
+        let t = CellTiling::build([1000.0; 3], 7.7);
+        assert_eq!(t.cell_count(), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn binning_is_exact_on_fraction_bits() {
+        let t = CellTiling::build([22.0; 3], 7.7);
+        // Fraction −1.0 (raw i32::MIN) is the box corner → cell 0; fraction
+        // just below 0 is the middle → still the lower cell; fraction 0 is
+        // the upper half.
+        assert_eq!(t.cell_of([i32::MIN; 3]), 0);
+        assert_eq!(t.cell_of([-1; 3]), 0);
+        assert_eq!(t.cell_of([0; 3]), 7);
+        assert_eq!(t.cell_of([0, -1, -1]), 1);
+        assert_eq!(t.cell_of([-1, 0, -1]), 2);
+        assert_eq!(t.cell_of([-1, -1, 0]), 4);
+    }
+
+    #[test]
+    fn tiling_pair_list_is_conservative() {
+        // Randomized check: any two fraction points within the reach (in a
+        // 36 Å box) must land in a listed cell pair.
+        let t = CellTiling::build([36.0; 3], 7.7);
+        let listed: std::collections::HashSet<(u32, u32)> = t.pairs().iter().copied().collect();
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..20_000 {
+            let p = [next() as i32, next() as i32, next() as i32];
+            let q = [next() as i32, next() as i32, next() as i32];
+            let mut r2 = 0.0;
+            for k in 0..3 {
+                let df = p[k].wrapping_sub(q[k]) as f64 / (1u64 << 31) as f64;
+                r2 += (df * 18.0).powi(2); // fraction of [-1,1) × half-edge
+            }
+            if r2 <= 7.7 * 7.7 {
+                let (a, b) = (t.cell_of(p) as u32, t.cell_of(q) as u32);
+                assert!(
+                    listed.contains(&(a.min(b), a.max(b))),
+                    "in-reach pair in unlisted cells {a},{b}"
+                );
+            }
+        }
+    }
+}

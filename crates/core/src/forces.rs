@@ -19,6 +19,7 @@
 //! filled, never its contents, so trajectories are bitwise invariant across
 //! node count *and* worker-thread count.
 
+use crate::batch::{BatchQueue, CellTiling};
 use crate::pool::DetPool;
 use crate::ranks::RankSet;
 use crate::state::{FixedState, ENERGY_FRAC, FORCE_FRAC};
@@ -29,9 +30,9 @@ use anton_fixpoint::rounding::rne_f64;
 use anton_fixpoint::Q20;
 use anton_forcefield::bonded;
 use anton_forcefield::ExclusionPolicy;
-use anton_geometry::{CellGrid, Vec3};
+use anton_geometry::{Buckets, PosTiles, TileView, Vec3};
 use anton_machine::perf::ExchangeCounters;
-use anton_machine::{modeled_burst_us, MachineConfig, MeshExchange, Ppip};
+use anton_machine::{modeled_burst_us, MachineConfig, MeshExchange, Ppip, MATCH_WIDTH};
 use anton_systems::System;
 use anton_trace::{Lane, Phase, TraceSink, RANK_MAIN};
 
@@ -131,6 +132,16 @@ impl RawForces {
     }
 }
 
+/// Slack (Å) added to the cutoff wherever *candidate* pairs are
+/// enumerated from decoded or binned positions rather than the exact
+/// fixed-point arithmetic: the f64 decode and the Q20 r² agree to ~1e-4 Å
+/// (pinned by `pairlist_slack_covers_decode_error`), so a candidate set
+/// built with this margin is a strict superset of the exact in-cutoff set
+/// — the per-pair integer test always makes the final decision. Shared by
+/// the cell-grid build, its pair sweep, and the tile pipeline's cell-pair
+/// reach so the decode slack can never drift between sites.
+pub const PAIRLIST_SLACK: f64 = 0.2;
+
 /// The pipeline bound to one system and one decomposition.
 pub struct ForcePipeline {
     pub ppip: Ppip,
@@ -160,6 +171,15 @@ pub struct ForcePipeline {
     /// Machine model pricing the metered traffic of trace counters
     /// (`Nodes(n)` only).
     machine: Option<MachineConfig>,
+    /// Upper bound on the match stage's integer lower-bound r² (Q40):
+    /// `(rc2_q20 << 20)` plus a margin covering the floor-vs-RNE gap of the
+    /// per-axis bound and the single RNE rounding of the exact r².
+    r2_lb_max: i64,
+    /// Single-rank tile pipeline state (`None` under `Nodes(n)`).
+    single: Option<SingleTiles>,
+    /// Per-box SoA position/charge tiles shared by the rank fan-out
+    /// (`Nodes(n)` path), rebuilt on the trunk once per fan-out.
+    node_tiles: PosTiles,
     /// Per-rank private accumulators (+ trace lanes), reused across steps.
     scratch: Vec<RankScratch>,
     /// Per-rank long-range accumulators (forces + private charge mesh),
@@ -177,6 +197,19 @@ pub struct ForcePipeline {
 struct RankScratch {
     forces: RawForces,
     lane: Lane,
+    /// The rank's match-batch queue (capacity retained across steps).
+    queue: BatchQueue,
+}
+
+/// Single-rank tile pipeline state: the static cell tiling plus the
+/// buckets, SoA tiles and match queue rebuilt from it every evaluation.
+/// Held in an `Option` so the evaluation can detach it from `self` while
+/// borrowing the pipeline shared.
+struct SingleTiles {
+    tiling: CellTiling,
+    buckets: Buckets,
+    tiles: PosTiles,
+    queue: BatchQueue,
 }
 
 /// One rank's private long-range state: a force accumulator, its share of
@@ -243,12 +276,22 @@ impl ForcePipeline {
                 st.bytes_total(),
             )
         });
+        let rc2_q20 = Q20::from_f64(sys.params.cutoff * sys.params.cutoff).raw();
+        let single = match decomposition {
+            Decomposition::SingleRank => Some(SingleTiles {
+                tiling: CellTiling::build([e.x, e.y, e.z], sys.params.cutoff + PAIRLIST_SLACK),
+                buckets: Buckets::default(),
+                tiles: PosTiles::default(),
+                queue: BatchQueue::default(),
+            }),
+            Decomposition::Nodes(_) => None,
+        };
         ForcePipeline {
             ppip: Ppip::build(beta, sys.params.cutoff),
             gse,
             beta,
             corr_kernel: DirectKernel::reference(beta, sys.params.cutoff),
-            rc2_q20: Q20::from_f64(sys.params.cutoff * sys.params.cutoff).raw(),
+            rc2_q20,
             half_edge_q20: [
                 Q20::from_f64(e.x / 2.0),
                 Q20::from_f64(e.y / 2.0),
@@ -270,6 +313,9 @@ impl ForcePipeline {
                 Decomposition::SingleRank => None,
                 Decomposition::Nodes(n) => Some(MachineConfig::with_nodes(n)),
             },
+            r2_lb_max: (rc2_q20 << 20) + (1 << 27),
+            single,
+            node_tiles: PosTiles::default(),
             scratch: Vec::new(),
             lr_scratch: Vec::new(),
             gse_scratch: GseScratch::default(),
@@ -373,6 +419,12 @@ impl ForcePipeline {
     /// PPIP tables, quantized force. Returns the Q24 force on atom `i`
     /// (negate for `j`) and the Q32 pair energy. Orientation-free: calling
     /// with (j, i) yields the exact negation.
+    ///
+    /// Retained as the scalar *reference oracle* for the batched match/
+    /// evaluate pipeline; production paths stream tile pairs through
+    /// [`Self::match_tile_pair`] + [`Self::evaluate_batches`], whose
+    /// per-pair arithmetic is identical operation for operation.
+    #[cfg(test)]
     #[inline]
     fn pair_contribution(
         &self,
@@ -413,6 +465,7 @@ impl ForcePipeline {
         Some((fi, eq))
     }
 
+    #[cfg(test)]
     fn apply_pair(
         &self,
         sys: &System,
@@ -437,12 +490,173 @@ impl ForcePipeline {
         }
     }
 
+    /// Stream one tile pair through a match unit: integer low-precision
+    /// prefilter on the raw fraction deltas, exact Q20 r² + cutoff test
+    /// (the cutoff is a mask, never a branch on decoded floats),
+    /// exclusion/1-4 classification, and lane fill into `q`. `same` marks
+    /// a tile paired with itself, where slots enumerate `si < sj`.
+    ///
+    /// Per surviving pair this performs *identical arithmetic* to the
+    /// scalar oracle: the exact displacement is
+    /// `rne_shr_i128(d_frac · half_edge_raw, 31)`, operation for operation
+    /// what `FixedState::delta_q20` computes via `Fx32::scale`.
+    fn match_tile_pair(
+        &self,
+        sys: &System,
+        a: TileView<'_>,
+        b: TileView<'_>,
+        same: bool,
+        q: &mut BatchQueue,
+    ) {
+        let top = &sys.topology;
+        let he = [
+            self.half_edge_q20[0].raw(),
+            self.half_edge_q20[1].raw(),
+            self.half_edge_q20[2].raw(),
+        ];
+        for si in 0..a.len() {
+            let (xi, yi, zi) = (a.x[si], a.y[si], a.z[si]);
+            let ai = a.atom[si];
+            let qi = a.q[si];
+            let sj0 = if same { si + 1 } else { 0 };
+            q.census.candidates += (b.len() - sj0) as u64;
+            for sj in sj0..b.len() {
+                // Low-precision distance check (the ASIC match unit's
+                // reduced-precision compare): per-axis floor lower bounds
+                // on Δ² in Q40. floor ≤ RNE per axis, so survivors are a
+                // strict superset of the exact in-cutoff set.
+                let dx = xi.wrapping_sub(b.x[sj]) as i64;
+                let dy = yi.wrapping_sub(b.y[sj]) as i64;
+                let dz = zi.wrapping_sub(b.z[sj]) as i64;
+                let lx = (dx.abs() * he[0]) >> 31;
+                let ly = (dy.abs() * he[1]) >> 31;
+                let lz = (dz.abs() * he[2]) >> 31;
+                if lx * lx + ly * ly + lz * lz > self.r2_lb_max {
+                    continue;
+                }
+                // Exact displacement and r², identical arithmetic to the
+                // scalar `delta_q20` path + cutoff test.
+                let d = [
+                    anton_fixpoint::rne_shr_i128(dx as i128 * he[0] as i128, 31),
+                    anton_fixpoint::rne_shr_i128(dy as i128 * he[1] as i128, 31),
+                    anton_fixpoint::rne_shr_i128(dz as i128 * he[2] as i128, 31),
+                ];
+                let sum: i128 = d[0] as i128 * d[0] as i128
+                    + d[1] as i128 * d[1] as i128
+                    + d[2] as i128 * d[2] as i128;
+                let r2 = anton_fixpoint::rne_shr_i128(sum, 20);
+                if r2 > self.rc2_q20 || r2 == 0 {
+                    continue;
+                }
+                let aj = b.atom[sj];
+                if top.exclusions.is_excluded(ai, aj) {
+                    continue;
+                }
+                let (se, sl) = if top.exclusions.is_14(ai, aj) {
+                    (self.policy.elec_14, self.policy.lj_14)
+                } else {
+                    (1.0, 1.0)
+                };
+                let qq = qi * b.q[sj] * se;
+                let (lja, ljb) = top
+                    .lj_table
+                    .coeffs(top.lj_type[ai as usize], top.lj_type[aj as usize]);
+                q.push(r2, qq, lja * sl, ljb * sl, ai, aj, d);
+            }
+        }
+    }
+
+    /// Drain the queued batches through the PPIP evaluator and scatter the
+    /// quantized forces, virial and energy. Batch order is the queue's
+    /// fill order (fixed by enumeration), and per-pair arithmetic matches
+    /// the scalar oracle bitwise.
+    fn evaluate_batches(&self, q: &BatchQueue, out: &mut RawForces) {
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let fs = (1i64 << FORCE_FRAC) as f64;
+        let es = (1u64 << ENERGY_FRAC) as f64;
+        let mut vals = [(0.0f64, 0.0f64); MATCH_WIDTH];
+        for (batch, meta) in q.iter() {
+            self.ppip.pair_batch(batch, &mut vals);
+            for (lane, &(f_over_r, e)) in vals.iter().enumerate() {
+                if batch.mask & (1u8 << lane) == 0 {
+                    continue;
+                }
+                let d = meta.d[lane];
+                let fi = [
+                    rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
+                    rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
+                    rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
+                ];
+                let (i, j) = (meta.i[lane] as usize, meta.j[lane] as usize);
+                for k in 0..3 {
+                    out.f[i][k] = out.f[i][k].wrapping_add(fi[k]);
+                    out.f[j][k] = out.f[j][k].wrapping_sub(fi[k]);
+                    out.virial = out.virial.accumulate(
+                        anton_fixpoint::Q::<20>::from_raw(d[k]),
+                        anton_fixpoint::Q::<24>::from_raw(fi[k]),
+                    );
+                }
+                out.e_range_limited = out.e_range_limited.wrapping_add(rne_f64(e * es) as i64);
+            }
+        }
+    }
+
+    /// Single-rank range-limited phase on the tile pipeline: bin atoms
+    /// into the static cell tiling from their raw fraction bits, rebuild
+    /// the SoA tiles, stream the conservative cell-pair list through the
+    /// match stage, then evaluate the batches. Allocation-free in steady
+    /// state; emits Match/Evaluate sub-spans inside the RangeLimited span.
+    fn range_limited_tiles(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let mut st = self.single.take().expect("single-rank tile state");
+        let n_cells = st.tiling.cell_count();
+        {
+            let SingleTiles {
+                tiling, buckets, ..
+            } = &mut st;
+            let positions = &state.positions;
+            buckets.rebuild(n_cells, sys.n_atoms(), |i| {
+                let p = &positions[i].0;
+                tiling.cell_of([p[0].raw(), p[1].raw(), p[2].raw()])
+            });
+        }
+        {
+            let positions = &state.positions;
+            let charge = &sys.topology.charge;
+            let buckets = &st.buckets;
+            st.tiles
+                .rebuild((0..n_cells).map(|c| buckets.members(c)), |a| {
+                    let p = &positions[a as usize].0;
+                    ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
+                });
+        }
+        let t0 = self.trace.now_ns();
+        st.queue.begin();
+        for &(ca, cb) in st.tiling.pairs() {
+            self.match_tile_pair(
+                sys,
+                st.tiles.tile(ca as usize),
+                st.tiles.tile(cb as usize),
+                ca == cb,
+                &mut st.queue,
+            );
+        }
+        self.trace.end_span(Phase::Match, RANK_MAIN, t0);
+        let t0 = self.trace.now_ns();
+        self.evaluate_batches(&st.queue, out);
+        self.trace.end_span(Phase::Evaluate, RANK_MAIN, t0);
+        let c = st.queue.census;
+        self.counters.match_candidates += c.candidates;
+        self.counters.match_pairs += c.pairs;
+        self.counters.match_batches += c.batches;
+        self.single = Some(st);
+    }
+
     /// Range-limited forces under the pipeline's decomposition.
     pub fn range_limited(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
         match self.decomposition {
             Decomposition::SingleRank => {
                 let t0 = self.trace.now_ns();
-                self.range_limited_cellgrid(sys, state, out);
+                self.range_limited_tiles(sys, state, out);
                 self.trace.end_span(Phase::RangeLimited, RANK_MAIN, t0);
             }
             Decomposition::Nodes(_) => self.rank_fanout(sys, state, out, false),
@@ -456,7 +670,7 @@ impl ForcePipeline {
         match self.decomposition {
             Decomposition::SingleRank => {
                 let t0 = self.trace.now_ns();
-                self.range_limited_cellgrid(sys, state, out);
+                self.range_limited_tiles(sys, state, out);
                 self.trace.end_span(Phase::RangeLimited, RANK_MAIN, t0);
                 let t0 = self.trace.now_ns();
                 self.bonded(sys, state, out);
@@ -532,6 +746,10 @@ impl ForcePipeline {
         // and turned into spans once `self` is mutable again.
         let mut merge_span = (0u64, 0u64);
         let mut fft_marks = [0u64; 4];
+        // Trunk wall time of each pool fan-out (spread; overlapped
+        // FFT+corrections; interpolate) — the dispatch/join overhead is
+        // this span minus the rank spans it encloses.
+        let mut dispatch_marks = [(0u64, 0u64); 3];
         {
             let this = &*self;
             let rs = this.ranks.as_ref().expect("rank set checked above");
@@ -542,6 +760,7 @@ impl ForcePipeline {
                 atoms: rs.atoms_in_box(r),
             };
             // 1. Per-rank charge spreading into private meshes.
+            dispatch_marks[0].0 = this.trace.now_ns();
             this.pool.run(&mut lr, |r, s| {
                 let t = this.trace.now_ns();
                 this.gse.spread_into(view(r), &mut s.rho, &mut s.stencil);
@@ -549,6 +768,7 @@ impl ForcePipeline {
                     s.lane.push(Phase::Spread, t, this.trace.now_ns());
                 }
             });
+            dispatch_marks[0].1 = this.trace.now_ns();
             // 2. Serial rank-ordered wrapping merge of the charge meshes
             //    (the modeled charge-halo exchange).
             merge_span.0 = this.trace.now_ns();
@@ -561,6 +781,7 @@ impl ForcePipeline {
             // 3. FFT trunk on the calling thread, overlapped with the
             //    per-rank correction pairs on the pool.
             let marks = &mut fft_marks;
+            dispatch_marks[1].0 = this.trace.now_ns();
             this.pool.run_overlapped(
                 &mut lr,
                 |r, s| {
@@ -576,7 +797,9 @@ impl ForcePipeline {
                     })
                 },
             );
+            dispatch_marks[1].1 = this.trace.now_ns();
             // 4. Per-rank force interpolation from the shared potential.
+            dispatch_marks[2].0 = this.trace.now_ns();
             this.pool.run(&mut lr, |r, s| {
                 let t = this.trace.now_ns();
                 let phi = &gs.phi_q;
@@ -592,10 +815,14 @@ impl ForcePipeline {
                     s.lane.push(Phase::Interpolate, t, this.trace.now_ns());
                 }
             });
+            dispatch_marks[2].1 = this.trace.now_ns();
         }
         self.gse_scratch = gs;
         self.lr_scratch = lr;
         if self.trace.is_on() {
+            for (s, e) in dispatch_marks {
+                self.trace.push_span(Phase::Dispatch, RANK_MAIN, s, e);
+            }
             self.trace
                 .push_span(Phase::MeshMerge, RANK_MAIN, merge_span.0, merge_span.1);
             self.trace
@@ -618,12 +845,15 @@ impl ForcePipeline {
         self.meter_since(before);
     }
 
+    /// Scalar reference enumeration over a decoded-position cell grid.
+    /// Retained as the test oracle the batched tile pipeline is compared
+    /// against (pair set and bitwise forces).
+    #[cfg(test)]
     fn range_limited_cellgrid(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        use anton_geometry::CellGrid;
         let pos = state.decode_positions(&sys.pbox);
-        // Slack over the cutoff: the decode and the fixed r² agree to
-        // ~1e-4 Å, so candidates are a strict superset of the exact set.
-        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + 0.2);
-        grid.for_each_pair_within(&pos, sys.params.cutoff + 0.2, |i, j, _d, _r2| {
+        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + PAIRLIST_SLACK);
+        grid.for_each_pair_within(&pos, sys.params.cutoff + PAIRLIST_SLACK, |i, j, _d, _r2| {
             self.apply_pair(sys, state, i, j, out);
         });
     }
@@ -637,6 +867,7 @@ impl ForcePipeline {
         scratch.resize_with(n_ranks, || RankScratch {
             forces: RawForces::zeroed(n_atoms),
             lane: Lane::new(),
+            queue: BatchQueue::default(),
         });
         for s in &mut scratch {
             if s.forces.f.len() == n_atoms {
@@ -673,36 +904,98 @@ impl ForcePipeline {
         if with_bonded {
             state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
         }
+        // Rebuild the shared per-box SoA tiles once, on the trunk; every
+        // rank streams its tower × plate tile pairs out of this pool.
+        {
+            let ForcePipeline {
+                node_tiles, ranks, ..
+            } = self;
+            let rs = ranks.as_ref().expect("rank set checked above");
+            let positions = &state.positions;
+            let charge = &sys.topology.charge;
+            node_tiles.rebuild((0..rs.grid.node_count()).map(|b| rs.atoms_in_box(b)), |a| {
+                let p = &positions[a as usize].0;
+                ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
+            });
+        }
         let mut scratch = self.take_scratch(sys.n_atoms());
-        let this = &*self;
-        let rs = this.ranks.as_ref().expect("rank set checked above");
-        this.pool.run(&mut scratch, |r, buf| {
-            let t = this.trace.now_ns();
-            this.rank_pairs(sys, state, rs, r, &mut buf.forces);
-            if this.trace.is_on() {
-                buf.lane.push(Phase::RangeLimited, t, this.trace.now_ns());
-            }
-            if with_bonded {
+        // Dispatch span: trunk-side wall time of the whole fan-out,
+        // covering pool dispatch/join overhead around the rank work.
+        let t_dispatch = self.trace.now_ns();
+        {
+            let this = &*self;
+            let rs = this.ranks.as_ref().expect("rank set checked above");
+            this.pool.run(&mut scratch, |r, buf| {
                 let t = this.trace.now_ns();
-                this.rank_bonded(sys, rs, r, &mut buf.forces);
+                this.rank_pairs_batched(sys, rs, r, buf);
                 if this.trace.is_on() {
-                    buf.lane.push(Phase::Bonded, t, this.trace.now_ns());
+                    buf.lane.push(Phase::RangeLimited, t, this.trace.now_ns());
                 }
-            }
-        });
+                if with_bonded {
+                    let t = this.trace.now_ns();
+                    this.rank_bonded(sys, rs, r, &mut buf.forces);
+                    if this.trace.is_on() {
+                        buf.lane.push(Phase::Bonded, t, this.trace.now_ns());
+                    }
+                }
+            });
+        }
+        self.trace.end_span(Phase::Dispatch, RANK_MAIN, t_dispatch);
         self.scratch = scratch;
         self.trace
             .merge_lanes(self.scratch.iter_mut().map(|s| &mut s.lane));
         for s in &self.scratch {
             out.merge_from(&s.forces);
+            let c = s.queue.census;
+            self.counters.match_candidates += c.candidates;
+            self.counters.match_pairs += c.pairs;
+            self.counters.match_batches += c.batches;
         }
     }
 
-    /// NT-method pair enumeration for one rank: tower × plate candidates
-    /// over the current home-box index, filtered by the exactly-once
-    /// assignment. The exact fixed-point cutoff filter makes the
-    /// interaction set identical to the single-rank path; wrapping
-    /// accumulation makes the *forces* identical bitwise.
+    /// Batched NT-method pair phase for one rank: stream the rank's
+    /// tower × plate tile pairs through the match stage, then drain the
+    /// batches through the evaluator. The exactly-once ownership test is
+    /// hoisted from per atom pair to per *box* pair — every atom in a box
+    /// shares that box's (canonical) home coordinate, so
+    /// `node_for_pair(coord(a), coord(b))` decides for all its pairs at
+    /// once. The exact fixed-point cutoff filter makes the interaction
+    /// set identical to the single-rank path; wrapping accumulation makes
+    /// the *forces* identical bitwise.
+    fn rank_pairs_batched(&self, sys: &System, rs: &RankSet, r: usize, buf: &mut RankScratch) {
+        let rank = &rs.ranks[r];
+        let t0 = self.trace.now_ns();
+        buf.queue.begin();
+        for tb in &rank.tower {
+            let ca = rs.grid.index(*tb);
+            let ta = self.node_tiles.tile(ca);
+            if ta.is_empty() {
+                continue;
+            }
+            let ha = rs.grid.coord(ca);
+            for pb in &rank.plate {
+                let cb = rs.grid.index(*pb);
+                if rs.nt.node_for_pair(ha, rs.grid.coord(cb)) != rank.node {
+                    continue;
+                }
+                self.match_tile_pair(sys, ta, self.node_tiles.tile(cb), ca == cb, &mut buf.queue);
+            }
+        }
+        if self.trace.is_on() {
+            buf.lane.push(Phase::Match, t0, self.trace.now_ns());
+        }
+        let t0 = self.trace.now_ns();
+        self.evaluate_batches(&buf.queue, &mut buf.forces);
+        if self.trace.is_on() {
+            buf.lane.push(Phase::Evaluate, t0, self.trace.now_ns());
+        }
+    }
+
+    /// Scalar NT-method pair enumeration for one rank: tower × plate
+    /// candidates over the current home-box index, filtered by the
+    /// exactly-once assignment per atom pair. Retained as the reference
+    /// oracle for [`Self::rank_pairs_batched`].
+    #[cfg(test)]
     fn rank_pairs(
         &self,
         sys: &System,
@@ -750,7 +1043,8 @@ impl ForcePipeline {
         }
     }
 
-    /// This rank's statically assigned correction pairs.
+    /// This rank's statically assigned correction pairs, streamed through
+    /// the batched correction kernel.
     fn rank_corrections(
         &self,
         sys: &System,
@@ -761,15 +1055,23 @@ impl ForcePipeline {
     ) {
         let rank = &rs.ranks[r];
         let excl = sys.topology.exclusions.excluded_pairs();
-        for &k in &rank.excl {
-            let (i, j) = excl[k as usize];
-            self.correction_pair_into(sys, state, i, j, 1.0, out);
-        }
         let p14 = sys.topology.exclusions.pairs_14();
-        for &k in &rank.pair14 {
-            let (i, j) = p14[k as usize];
-            self.correction_pair_into(sys, state, i, j, 1.0 - self.policy.elec_14, out);
-        }
+        let s14 = 1.0 - self.policy.elec_14;
+        self.correction_stream_into(
+            sys,
+            state,
+            rank.excl
+                .iter()
+                .map(|&k| {
+                    let (i, j) = excl[k as usize];
+                    (i, j, 1.0)
+                })
+                .chain(rank.pair14.iter().map(|&k| {
+                    let (i, j) = p14[k as usize];
+                    (i, j, s14)
+                })),
+            out,
+        );
     }
 
     /// Quantize an f64 force onto the Q24 grid and accumulate.
@@ -818,8 +1120,97 @@ impl ForcePipeline {
             .wrapping_add(rne_f64(u * (1u64 << ENERGY_FRAC) as f64) as i64);
     }
 
+    /// Stream correction pairs (atom ids + electrostatic scale) through
+    /// the batched correction kernel in 8-wide bundles — the flexible
+    /// subsystem's analogue of the HTIS match batch. Pairs with zero
+    /// scaled charge product are dropped before lane fill, exactly like
+    /// the scalar reference's early return; per-lane arithmetic is
+    /// bitwise identical to [`Self::correction_pair_into`].
+    fn correction_stream_into(
+        &self,
+        sys: &System,
+        state: &FixedState,
+        pairs: impl Iterator<Item = (u32, u32, f64)>,
+        out: &mut RawForces,
+    ) {
+        let top = &sys.topology;
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let mut qqs = [0.0f64; MATCH_WIDTH];
+        let mut r2s = [0.0f64; MATCH_WIDTH];
+        let mut ij = [(0u32, 0u32); MATCH_WIDTH];
+        let mut dd = [[0i64; 3]; MATCH_WIDTH];
+        let mut fill = 0usize;
+        for (i, j, scale) in pairs {
+            let qq = top.charge[i as usize] * top.charge[j as usize] * scale;
+            if qq == 0.0 {
+                continue;
+            }
+            let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
+            qqs[fill] = qq;
+            r2s[fill] = (d[0] as f64 * ds).powi(2)
+                + (d[1] as f64 * ds).powi(2)
+                + (d[2] as f64 * ds).powi(2);
+            ij[fill] = (i, j);
+            dd[fill] = d;
+            fill += 1;
+            if fill == MATCH_WIDTH {
+                self.corr_batch_into(&qqs, &r2s, &ij, &dd, fill, out);
+                fill = 0;
+            }
+        }
+        if fill > 0 {
+            self.corr_batch_into(&qqs, &r2s, &ij, &dd, fill, out);
+        }
+    }
+
+    /// Evaluate one (possibly partial) correction batch and scatter the
+    /// quantized forces and energy (no virial — matching the scalar
+    /// reference, which books correction pairs outside the pair virial).
+    fn corr_batch_into(
+        &self,
+        qqs: &[f64; MATCH_WIDTH],
+        r2s: &[f64; MATCH_WIDTH],
+        ij: &[(u32, u32); MATCH_WIDTH],
+        dd: &[[i64; 3]; MATCH_WIDTH],
+        lanes: usize,
+        out: &mut RawForces,
+    ) {
+        let mask = if lanes == MATCH_WIDTH {
+            0xff
+        } else {
+            (1u8 << lanes) - 1
+        };
+        let mut vals = [(0.0f64, 0.0f64); MATCH_WIDTH];
+        self.corr_kernel
+            .exclusion_correction_batch(qqs, r2s, mask, &mut vals);
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let fs = (1i64 << FORCE_FRAC) as f64;
+        let es = (1u64 << ENERGY_FRAC) as f64;
+        for lane in 0..lanes {
+            let (e, f_over_r) = vals[lane];
+            let d = dd[lane];
+            let fi = [
+                rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
+                rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
+                rne_f64(d[2] as f64 * ds * f_over_r * fs) as i64,
+            ];
+            let (i, j) = ij[lane];
+            let a = &mut out.f[i as usize];
+            a[0] = a[0].wrapping_add(fi[0]);
+            a[1] = a[1].wrapping_add(fi[1]);
+            a[2] = a[2].wrapping_add(fi[2]);
+            let b = &mut out.f[j as usize];
+            b[0] = b[0].wrapping_sub(fi[0]);
+            b[1] = b[1].wrapping_sub(fi[1]);
+            b[2] = b[2].wrapping_sub(fi[2]);
+            out.e_correction = out.e_correction.wrapping_add(rne_f64(e * es) as i64);
+        }
+    }
+
     /// One correction pair (excluded or 1-4): the correction pipeline of
-    /// the flexible subsystem (§3.1).
+    /// the flexible subsystem (§3.1). Retained as the scalar reference
+    /// oracle for the batched correction stream.
+    #[cfg(test)]
     #[inline]
     fn correction_pair_into(
         &self,
@@ -876,15 +1267,21 @@ impl ForcePipeline {
         }
     }
 
-    /// Correction forces (excluded and 1-4 pairs), serially.
+    /// Correction forces (excluded and 1-4 pairs), streamed through the
+    /// batched correction kernel on the calling thread.
     pub fn corrections(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
         let top = &sys.topology;
-        for &(i, j) in top.exclusions.excluded_pairs() {
-            self.correction_pair_into(sys, state, i, j, 1.0, out);
-        }
-        for &(i, j) in top.exclusions.pairs_14() {
-            self.correction_pair_into(sys, state, i, j, 1.0 - self.policy.elec_14, out);
-        }
+        let s14 = 1.0 - self.policy.elec_14;
+        self.correction_stream_into(
+            sys,
+            state,
+            top.exclusions
+                .excluded_pairs()
+                .iter()
+                .map(|&(i, j)| (i, j, 1.0))
+                .chain(top.exclusions.pairs_14().iter().map(|&(i, j)| (i, j, s14))),
+            out,
+        );
     }
 
     /// Long-range (mesh) forces via the fixed-point GSE pipeline, evaluated
@@ -914,7 +1311,7 @@ impl ForcePipeline {
 mod tests {
     use super::*;
     use anton_forcefield::water::TIP3P;
-    use anton_geometry::PeriodicBox;
+    use anton_geometry::{CellGrid, PeriodicBox};
     use anton_systems::spec::RunParams;
     use anton_systems::waterbox::pure_water_topology;
 
@@ -948,6 +1345,16 @@ mod tests {
             &state,
             &mut reference,
         );
+
+        // The batched tile pipeline reproduces the scalar cell-grid
+        // oracle bitwise.
+        let mut oracle = RawForces::zeroed(sys.n_atoms());
+        ForcePipeline::new(&sys, Decomposition::SingleRank, 1).range_limited_cellgrid(
+            &sys,
+            &state,
+            &mut oracle,
+        );
+        assert_eq!(reference, oracle, "batched pipeline diverged from oracle");
 
         for nodes in [1usize, 2, 8, 64] {
             let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(nodes), 1);
@@ -1077,8 +1484,8 @@ mod tests {
         // kernels and same positions.
         let pos = state.decode_positions(&sys.pbox);
         let mut f64_forces = vec![Vec3::ZERO; sys.n_atoms()];
-        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + 0.2);
-        grid.for_each_pair_within(&pos, sys.params.cutoff + 0.2, |i, j, _d, _r2| {
+        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + PAIRLIST_SLACK);
+        grid.for_each_pair_within(&pos, sys.params.cutoff + PAIRLIST_SLACK, |i, j, _d, _r2| {
             let top = &sys.topology;
             if top.exclusions.is_excluded(i as u32, j as u32) {
                 return;
@@ -1112,6 +1519,213 @@ mod tests {
         let rel = (num / den).sqrt();
         assert!(rel < 1e-4, "numerical force error {rel:e}");
         assert!(rel > 1e-9, "suspiciously exact {rel:e}");
+    }
+
+    /// The pair-list slack exists to absorb decode/quantization
+    /// disagreement between the f64 candidate distance (grid build and
+    /// sweep) and the exact Q20 r² (the final per-pair decision). Measure
+    /// the worst disagreement over a dense water box and pin it two
+    /// orders of magnitude under [`PAIRLIST_SLACK`], so both enumeration
+    /// sites keep a strict candidate superset.
+    #[test]
+    fn pairlist_slack_covers_decode_error() {
+        let sys = water_system(150, 21);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
+        let pos = state.decode_positions(&sys.pbox);
+        let ds = 1.0 / (1i64 << 20) as f64;
+        let mut worst: f64 = 0.0;
+        for i in 0..sys.n_atoms() {
+            for j in (i + 1)..sys.n_atoms() {
+                let d = state.delta_q20(pipe.half_edge_q20, i, j);
+                let r_fix = ((d[0] as f64 * ds).powi(2)
+                    + (d[1] as f64 * ds).powi(2)
+                    + (d[2] as f64 * ds).powi(2))
+                .sqrt();
+                let r_dec = sys.pbox.min_image(pos[i], pos[j]).norm2().sqrt();
+                worst = worst.max((r_fix - r_dec).abs());
+            }
+        }
+        assert!(worst > 0.0, "decode and fixed distances never disagree?");
+        assert!(
+            worst < PAIRLIST_SLACK / 100.0,
+            "decode disagreement {worst} too close to the slack {PAIRLIST_SLACK}"
+        );
+    }
+
+    /// The batched correction stream (8-wide bundles through
+    /// `exclusion_correction_batch`) is bitwise identical to the scalar
+    /// per-pair reference.
+    #[test]
+    fn batched_corrections_match_scalar_oracle() {
+        let sys = water_system(140, 17);
+        let state = state_of(&sys);
+        let pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
+
+        let mut batched = RawForces::zeroed(sys.n_atoms());
+        pipe.corrections(&sys, &state, &mut batched);
+
+        let mut scalar = RawForces::zeroed(sys.n_atoms());
+        let top = &sys.topology;
+        for &(i, j) in top.exclusions.excluded_pairs() {
+            pipe.correction_pair_into(&sys, &state, i, j, 1.0, &mut scalar);
+        }
+        for &(i, j) in top.exclusions.pairs_14() {
+            pipe.correction_pair_into(&sys, &state, i, j, 1.0 - pipe.policy.elec_14, &mut scalar);
+        }
+        assert_eq!(batched, scalar);
+        assert_ne!(batched.e_correction, 0);
+    }
+
+    /// The match census counters book the streamed work consistently:
+    /// pairs ≤ candidates, the batch count covers the pairs at 8 lanes a
+    /// batch, and the surviving pair count is invariant across
+    /// decompositions (it is the exact interaction set's size).
+    #[test]
+    fn match_census_is_decomposition_invariant() {
+        let sys = water_system(140, 19);
+        let state = state_of(&sys);
+        let census = |decomp: Decomposition| {
+            let mut pipe = ForcePipeline::new(&sys, decomp, 1);
+            let mut out = RawForces::zeroed(sys.n_atoms());
+            pipe.range_limited(&sys, &state, &mut out);
+            (
+                pipe.counters.match_candidates,
+                pipe.counters.match_pairs,
+                pipe.counters.match_batches,
+            )
+        };
+        let (cand, pairs, batches) = census(Decomposition::SingleRank);
+        assert!(pairs > 0 && pairs <= cand);
+        assert!(batches >= pairs.div_ceil(8));
+        for nodes in [1usize, 8] {
+            let (c, p, b) = census(Decomposition::Nodes(nodes));
+            assert_eq!(p, pairs, "{nodes} nodes found a different pair set");
+            assert!(p <= c);
+            assert!(b >= p.div_ceil(8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod batched_oracle_props {
+    //! Property tests of the tentpole invariant: on random boxed atom
+    //! sets, the batched HTIS-shaped pipeline reproduces the retained
+    //! scalar oracle's pair *set* and raw forces *bitwise*, across the
+    //! single-rank path and `Nodes {1, 8, 64}`.
+    use super::*;
+    use anton_forcefield::water::TIP3P;
+    use anton_geometry::{CellGrid, PeriodicBox};
+    use anton_systems::spec::RunParams;
+    use anton_systems::waterbox::pure_water_topology;
+    use proptest::prelude::*;
+
+    fn state_of(sys: &System) -> FixedState {
+        FixedState::from_f64(&sys.pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()])
+    }
+
+    /// Exact interaction set per the scalar oracle (cell-grid sweep +
+    /// `pair_contribution`'s exclusion and cutoff tests), normalized.
+    fn oracle_pairs(pipe: &ForcePipeline, sys: &System, state: &FixedState) -> Vec<(u32, u32)> {
+        let pos = state.decode_positions(&sys.pbox);
+        let grid = CellGrid::build(&sys.pbox, &pos, sys.params.cutoff + PAIRLIST_SLACK);
+        let mut pairs = Vec::new();
+        grid.for_each_pair_within(&pos, sys.params.cutoff + PAIRLIST_SLACK, |i, j, _d, _r2| {
+            if pipe.pair_contribution(sys, state, i, j).is_some() {
+                pairs.push((i.min(j) as u32, i.max(j) as u32));
+            }
+        });
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// The pair set the batched match stage actually queued, normalized.
+    /// Valid right after a `range_limited` call (queues hold the last
+    /// evaluation's batches).
+    fn batched_pairs(pipe: &ForcePipeline) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = match &pipe.single {
+            Some(st) => st.queue.matched_pairs(),
+            None => pipe
+                .scratch
+                .iter()
+                .flat_map(|s| s.queue.matched_pairs())
+                .collect(),
+        };
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Scalar NT oracle: serial per-rank scalar enumeration after a
+    /// fresh re-home.
+    fn scalar_nodes_forces(
+        pipe: &mut ForcePipeline,
+        sys: &System,
+        state: &FixedState,
+    ) -> RawForces {
+        let mut out = RawForces::zeroed(sys.n_atoms());
+        {
+            let rs = pipe.ranks.as_mut().expect("nodes oracle needs ranks");
+            rs.prepare(state, &mut pipe.counters);
+        }
+        let rs = pipe.ranks.as_ref().expect("nodes oracle needs ranks");
+        for r in 0..rs.rank_count() {
+            pipe.rank_pairs(sys, state, rs, r, &mut out);
+        }
+        out
+    }
+
+    /// Drives the vendored [`TestRunner`] directly instead of the
+    /// `proptest!` macro: each case builds PPIP tables several times, so
+    /// the crate-wide 256-case default would dominate the suite.
+    #[test]
+    fn batched_path_matches_scalar_oracle() {
+        let mut runner = TestRunner::new(concat!(module_path!(), "::batched_path"));
+        for case in 0..6u32 {
+            let n = Strategy::sample(&(20usize..60), runner.rng());
+            let seed = Strategy::sample(&(0u64..(1u64 << 32)), runner.rng());
+            let edge_decis = Strategy::sample(&(160u32..260), runner.rng());
+            let pbox = PeriodicBox::cubic(edge_decis as f64 / 10.0);
+            let (top, positions) = pure_water_topology(&pbox, &TIP3P, n, seed);
+            let sys = System {
+                name: "prop".into(),
+                pbox,
+                topology: top,
+                positions,
+                params: RunParams::paper(7.5, 16),
+            };
+            let state = state_of(&sys);
+            let ctx = format!("case {case}: n={n} seed={seed} edge={edge_decis}");
+
+            // Single rank: batched vs cell-grid scalar oracle.
+            let mut sr = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
+            let mut batched = RawForces::zeroed(sys.n_atoms());
+            sr.range_limited(&sys, &state, &mut batched);
+            let mut oracle = RawForces::zeroed(sys.n_atoms());
+            sr.range_limited_cellgrid(&sys, &state, &mut oracle);
+            assert_eq!(batched, oracle, "single-rank forces diverged ({ctx})");
+            let oracle_set = oracle_pairs(&sr, &sys, &state);
+            assert_eq!(
+                batched_pairs(&sr),
+                oracle_set,
+                "single-rank pair set ({ctx})"
+            );
+
+            // Nodes {1, 8, 64}: batched vs the scalar NT oracle and vs
+            // the single-rank result.
+            for nodes in [1usize, 8, 64] {
+                let mut np = ForcePipeline::new(&sys, Decomposition::Nodes(nodes), 1);
+                let mut got = RawForces::zeroed(sys.n_atoms());
+                np.range_limited(&sys, &state, &mut got);
+                assert_eq!(got, oracle, "{nodes}-node forces diverged ({ctx})");
+                assert_eq!(
+                    batched_pairs(&np),
+                    oracle_set,
+                    "{nodes}-node pair set ({ctx})"
+                );
+                let scalar = scalar_nodes_forces(&mut np, &sys, &state);
+                assert_eq!(got, scalar, "{nodes}-node scalar oracle ({ctx})");
+            }
+        }
     }
 }
 

@@ -40,6 +40,7 @@
 //! println!("E_total = {} kcal/mol", sim.total_energy());
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod forces;
 pub mod pool;
@@ -49,6 +50,7 @@ pub mod stats;
 
 pub use anton_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use anton_trace::{Phase as TracePhase, TraceSink};
+pub use batch::{BatchCensus, BatchMeta, BatchQueue, CellTiling};
 pub use engine::{AntonSimulation, SimulationBuilder, ThermostatKind};
 pub use forces::{Decomposition, ForcePipeline, RawForces};
 pub use pool::{threads_from_env, DetPool};

@@ -1,0 +1,25 @@
+// Fixture: linted as crates/core/src/good.rs — a match-batch kernel in its
+// sanctioned shape: raw fraction bits come out of the wrappers once, on
+// their own binding, and all arithmetic on them goes through wrapping ops,
+// right shifts, and comparisons; the cutoff is a mask, not a branch on
+// unchecked arithmetic.
+
+use anton_fixpoint::{Fx32, Q20};
+
+pub fn lane_r2_mask(x: [Fx32; 8], y: [Fx32; 8], cutoff: Q20) -> u8 {
+    let limit = cutoff.raw();
+    let mut mask = 0u8;
+    for lane in 0..8 {
+        let dx = x[lane].wrapping_sub(y[lane]);
+        let d = dx.raw();
+        let lb = (i64::from(d).wrapping_mul(i64::from(d))) >> 31;
+        if lb <= limit {
+            mask |= 1u8 << lane;
+        }
+    }
+    mask
+}
+
+pub fn lane_bucket(q: Q20, shift: u32) -> usize {
+    (q.raw() >> shift) as usize
+}

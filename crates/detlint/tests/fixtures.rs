@@ -101,6 +101,22 @@ fn d5_flags_unordered_pencil_merge() {
 }
 
 #[test]
+fn d5_accepts_fixed_order_batch_merge() {
+    // The batched match/evaluate shape: scoped workers fill disjoint
+    // per-rank batch queues, the caller merges serially in rank order.
+    let hits = rules_hit("crates/core/src/good.rs", "pass_d5_batch_merge.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
+fn d5_flags_arrival_order_batch_merge() {
+    // Same pipeline with batches drained off a channel: the accumulation
+    // order becomes the thread finish order — D5 fires on the reduction.
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d5_batch_merge.rs");
+    assert_eq!(hits, [("D5".into(), 7)]);
+}
+
+#[test]
 fn trace_crate_is_on_the_simulation_path() {
     // The trace crate joined DET_CRATES: an unsanctioned wall-clock read
     // there is a D4 violation like anywhere else in the deterministic core.
@@ -319,6 +335,24 @@ fn d7_exempts_fixpoint_wrappers_and_sanctioned_shapes() {
         rules_hit("crates/core/src/good.rs", "pass_d7_wrapping.rs"),
         []
     );
+}
+
+#[test]
+fn d7_flags_raw_arith_in_batch_kernels() {
+    // A match-batch kernel doing bare `+ - * <<` on raw lanes: every
+    // unchecked op adjacent to a `.raw()` read fires; the comparison-only
+    // cutoff test stays silent.
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d7_batch_kernel.rs");
+    let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, ["D7", "D7", "D7", "D7"], "hits: {hits:?}");
+}
+
+#[test]
+fn d7_accepts_sanctioned_batch_kernel_shape() {
+    // The shape the real match stage uses: raw bits on their own binding,
+    // wrapping ops, right shifts, masks and comparisons only.
+    let hits = rules_hit("crates/core/src/good.rs", "pass_d7_batch_kernel.rs");
+    assert_eq!(hits, []);
 }
 
 #[test]

@@ -16,10 +16,12 @@
 pub mod cells;
 pub mod mat3;
 pub mod pbc;
+pub mod tiles;
 pub mod vec3;
 pub mod voxel;
 
 pub use cells::{Buckets, CellGrid};
 pub use mat3::Mat3;
 pub use pbc::PeriodicBox;
+pub use tiles::{PosTiles, TileView};
 pub use vec3::{IVec3, Vec3};

@@ -30,6 +30,6 @@ pub use config::MachineConfig;
 pub use exchange::{ExchangePlan, Link, MeshExchange, FORCE_BYTES, MESH_BYTES, POS_BYTES};
 pub use htis::{HtisRun, HtisSim};
 pub use perf::{modeled_burst_us, ExchangeCounters, PerfModel, StepBreakdown, SystemStats};
-pub use ppip::{MatchUnit, Ppip};
+pub use ppip::{MatchUnit, PairBatch, Ppip, MATCH_WIDTH, R2_FRAC};
 pub use ring::{Ring, Station};
 pub use tables::{FunctionTable, TableSpec};

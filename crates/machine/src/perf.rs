@@ -94,6 +94,14 @@ pub struct ExchangeCounters {
     /// slab owners.
     pub mesh_halo_messages: u64,
     pub mesh_halo_bytes: u64,
+    /// Match batches dispatched into the PPIP evaluator (8-wide bundles,
+    /// including partially-filled tails).
+    pub match_batches: u64,
+    /// Pairs that survived the exact cutoff test and filled a batch lane.
+    pub match_pairs: u64,
+    /// Candidate pairs streamed through the match stage (tile-pair lanes
+    /// examined, before the cutoff mask).
+    pub match_candidates: u64,
 }
 
 impl ExchangeCounters {
@@ -150,7 +158,7 @@ impl ExchangeCounters {
     }
 
     /// Number of u64 words in the [`Self::to_words`] serialization.
-    pub const WORDS: usize = 13;
+    pub const WORDS: usize = 16;
 
     /// Serialize to a fixed word array for the checkpoint payload. The
     /// word order is the struct declaration order and is part of the
@@ -171,6 +179,9 @@ impl ExchangeCounters {
             self.fft_bytes,
             self.mesh_halo_messages,
             self.mesh_halo_bytes,
+            self.match_batches,
+            self.match_pairs,
+            self.match_candidates,
         ]
     }
 
@@ -192,6 +203,9 @@ impl ExchangeCounters {
             fft_bytes: w[10],
             mesh_halo_messages: w[11],
             mesh_halo_bytes: w[12],
+            match_batches: w[13],
+            match_pairs: w[14],
+            match_candidates: w[15],
         })
     }
 
@@ -220,6 +234,11 @@ impl ExchangeCounters {
                 .mesh_halo_messages
                 .saturating_sub(earlier.mesh_halo_messages),
             mesh_halo_bytes: self.mesh_halo_bytes.saturating_sub(earlier.mesh_halo_bytes),
+            match_batches: self.match_batches.saturating_sub(earlier.match_batches),
+            match_pairs: self.match_pairs.saturating_sub(earlier.match_pairs),
+            match_candidates: self
+                .match_candidates
+                .saturating_sub(earlier.match_candidates),
         }
     }
 
@@ -636,15 +655,21 @@ mod tests {
             fft_bytes: 11,
             mesh_halo_messages: 12,
             mesh_halo_bytes: 13,
+            match_batches: 14,
+            match_pairs: 15,
+            match_candidates: 16,
         };
         let words = c.to_words();
         // Every field is distinct, so a permutation or a dropped field
         // cannot round-trip unnoticed.
-        assert_eq!(words, [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(
+            words,
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+        );
         let back = ExchangeCounters::from_words(&words).unwrap();
         assert_eq!(back.to_words(), words);
-        assert!(ExchangeCounters::from_words(&words[..12]).is_none());
-        assert!(ExchangeCounters::from_words(&[0; 14]).is_none());
+        assert!(ExchangeCounters::from_words(&words[..15]).is_none());
+        assert!(ExchangeCounters::from_words(&[0; 17]).is_none());
     }
 
     #[test]

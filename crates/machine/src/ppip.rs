@@ -18,6 +18,36 @@ use anton_forcefield::units::{erfc, COULOMB};
 /// Fraction bits of the r² values handed to the PPIP (Q20 Å²).
 pub const R2_FRAC: u32 = 20;
 
+/// Lanes per match batch: the ASIC pairs each PPIP with 8 match units
+/// (paper §2.2), so the natural unit of work entering the evaluator is an
+/// 8-wide bundle of cutoff-surviving pairs.
+pub const MATCH_WIDTH: usize = 8;
+
+/// One 8-wide bundle of matched pairs headed into the tabulated evaluator:
+/// per-lane Q20 r², charge products, and LJ coefficients, plus a survivor
+/// mask (bit `k` set = lane `k` holds a real pair). The geometry sidecar
+/// (who `i`/`j` are, the displacement for the force scatter) stays with the
+/// caller — the PPIP only ever sees r² and per-pair kernel parameters,
+/// like the hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct PairBatch {
+    pub r2_q20: [i64; MATCH_WIDTH],
+    pub qq: [f64; MATCH_WIDTH],
+    pub lj_a: [f64; MATCH_WIDTH],
+    pub lj_b: [f64; MATCH_WIDTH],
+    pub mask: u8,
+}
+
+impl PairBatch {
+    pub const EMPTY: PairBatch = PairBatch {
+        r2_q20: [0; MATCH_WIDTH],
+        qq: [0.0; MATCH_WIDTH],
+        lj_a: [0.0; MATCH_WIDTH],
+        lj_b: [0.0; MATCH_WIDTH],
+        mask: 0,
+    };
+}
+
 /// A PPIP bound to an Ewald splitting parameter and cutoff.
 #[derive(Clone, Debug)]
 pub struct Ppip {
@@ -111,14 +141,43 @@ impl Ppip {
 
     /// Table-driven `(force/r, energy)` of one range-limited pair:
     /// `F⃗ = d⃗ · force_over_r`. Deterministic for given raw inputs.
+    ///
+    /// All six tables share one spec, so the tiered segment lookup is done
+    /// once and reused — bitwise identical to six independent lookups.
     #[inline]
     pub fn pair(&self, r2_q20: i64, qq: f64, lj_a: f64, lj_b: f64) -> (f64, f64) {
         let u = self.u_q31(r2_q20).clamp(0, (1i64 << 31) - 1);
-        let f = COULOMB * qq * self.f_elec.eval_fixed_f64(u) + lj_a * self.f12.eval_fixed_f64(u)
-            - lj_b * self.f6.eval_fixed_f64(u);
-        let e = COULOMB * qq * self.e_elec.eval_fixed_f64(u) + lj_a * self.e12.eval_fixed_f64(u)
-            - lj_b * self.e6.eval_fixed_f64(u);
+        let (idx, t_q31) = self.f_elec.locate_q31(u);
+        let fixed = |table: &FunctionTable| {
+            let (m, e) = table.eval_at(idx, t_q31);
+            m as f64 * (2.0f64).powi(e)
+        };
+        let f =
+            COULOMB * qq * fixed(&self.f_elec) + lj_a * fixed(&self.f12) - lj_b * fixed(&self.f6);
+        let e =
+            COULOMB * qq * fixed(&self.e_elec) + lj_a * fixed(&self.e12) - lj_b * fixed(&self.e6);
         (f, e)
+    }
+
+    /// Evaluate a whole masked match batch: lane `k` of `out` receives the
+    /// `(force/r, energy)` of lane `k` of the batch when mask bit `k` is
+    /// set (unset lanes are zeroed). Lane order is fixed, so downstream
+    /// force accumulation happens in one canonical batch order; each lane
+    /// is bitwise identical to a [`Self::pair`] call with its inputs.
+    #[inline]
+    pub fn pair_batch(&self, batch: &PairBatch, out: &mut [(f64, f64); MATCH_WIDTH]) {
+        for (lane, slot) in out.iter_mut().enumerate() {
+            *slot = if batch.mask & (1u8 << lane) == 0 {
+                (0.0, 0.0)
+            } else {
+                self.pair(
+                    batch.r2_q20[lane],
+                    batch.qq[lane],
+                    batch.lj_a[lane],
+                    batch.lj_b[lane],
+                )
+            };
+        }
     }
 
     /// Exact (double-precision) kernels with the same clamping, for error
@@ -207,6 +266,39 @@ mod tests {
         let rel = (err2 / norm2).sqrt();
         assert!(rel < 5e-5, "rms relative force error {rel:e}");
         assert!(rel > 1e-9, "suspiciously exact: {rel:e}");
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_pairs_bitwise() {
+        let ppip = Ppip::build(0.24, 13.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for mask in [0xffu8, 0x00, 0x5a, 0x01, 0x80] {
+            let mut batch = PairBatch::EMPTY;
+            batch.mask = mask;
+            for lane in 0..MATCH_WIDTH {
+                let r = 2.0 + rng.gen::<f64>() * 10.5;
+                batch.r2_q20[lane] = (r * r * (1i64 << 20) as f64) as i64;
+                batch.qq[lane] = (rng.gen::<f64>() - 0.5) * 0.6;
+                batch.lj_a[lane] = rng.gen::<f64>() * 8e5;
+                batch.lj_b[lane] = rng.gen::<f64>() * 1.2e3;
+            }
+            let mut out = [(0.0, 0.0); MATCH_WIDTH];
+            ppip.pair_batch(&batch, &mut out);
+            for (lane, got) in out.iter().enumerate() {
+                if mask & (1 << lane) == 0 {
+                    assert_eq!(*got, (0.0, 0.0));
+                    continue;
+                }
+                let (f, e) = ppip.pair(
+                    batch.r2_q20[lane],
+                    batch.qq[lane],
+                    batch.lj_a[lane],
+                    batch.lj_b[lane],
+                );
+                assert_eq!(got.0.to_bits(), f.to_bits(), "lane {lane}");
+                assert_eq!(got.1.to_bits(), e.to_bits(), "lane {lane}");
+            }
+        }
     }
 
     #[test]

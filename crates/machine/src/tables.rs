@@ -87,6 +87,23 @@ pub struct Segment {
     pub exponent: i32,
 }
 
+/// One tier of the integer index ladder: valid only when the tier's segment
+/// width is an exact power of two in Q31, in which case segment selection
+/// and the within-segment coordinate reduce to a shift and a subtract.
+#[derive(Clone, Copy, Debug)]
+struct FastTier {
+    /// Tier domain end as Q31 (exclusive).
+    end_q31: i64,
+    /// Tier domain start as Q31.
+    u0_q31: i64,
+    /// Global index of the tier's first segment.
+    base: usize,
+    /// Segment width = `2^(log2_w - 31)` in u units.
+    log2_w: u32,
+    /// Segments in this tier.
+    count: usize,
+}
+
 /// A fitted, quantized function table over `u ∈ [0, 1)`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FunctionTable {
@@ -94,6 +111,12 @@ pub struct FunctionTable {
     pub segments: Vec<Segment>,
     /// `(u_start, u_width)` per segment.
     pub bounds: Vec<(f64, f64)>,
+    /// Integer index ladder, present when every tier width is an exact
+    /// power of two in Q31 (true for both shipped specs). Rebuilt by
+    /// `fit`; deserialized tables fall back to the float lookup, which
+    /// produces identical bits.
+    #[serde(skip)]
+    fast: Option<Vec<FastTier>>,
 }
 
 impl FunctionTable {
@@ -156,11 +179,62 @@ impl FunctionTable {
             })
             .collect();
 
+        let fast = Self::build_fast(&spec);
         FunctionTable {
             spec,
             segments,
             bounds,
+            fast,
         }
+    }
+
+    /// Build the integer index ladder when the spec qualifies: every tier
+    /// boundary must be an exact multiple of 2^-31 and every tier width an
+    /// exact power of two in Q31, and the domain must end at exactly 1.
+    /// Under those conditions the float lookup of [`Self::segment_of`] /
+    /// [`Self::eval_fixed`] is exact integer arithmetic in disguise — the
+    /// ladder computes the same index and the same Q31 `t`, bit for bit —
+    /// because `u`, `u − u0`, and `(u − u0)/w` are all exactly
+    /// representable and the `as usize` truncation equals the shift.
+    fn build_fast(spec: &TableSpec) -> Option<Vec<FastTier>> {
+        let q31 = (1i64 << 31) as f64;
+        let mut tiers = Vec::with_capacity(spec.tiers.len());
+        let mut base = 0usize;
+        let mut u0 = 0.0f64;
+        for &(count, end) in &spec.tiers {
+            let u0_q31f = u0 * q31;
+            let end_q31f = end * q31;
+            if u0_q31f.fract() != 0.0 || end_q31f.fract() != 0.0 {
+                return None;
+            }
+            let u0_q31 = u0_q31f as i64;
+            let end_q31 = end_q31f as i64;
+            let span = end_q31 - u0_q31;
+            if count == 0 || span <= 0 || span % count as i64 != 0 {
+                return None;
+            }
+            let w_q31 = span / count as i64;
+            if !(w_q31 as u64).is_power_of_two() {
+                return None;
+            }
+            // The float path's segment width must round-trip exactly.
+            if (end - u0) / count as f64 != w_q31 as f64 / q31 {
+                return None;
+            }
+            tiers.push(FastTier {
+                end_q31,
+                u0_q31,
+                base,
+                log2_w: (w_q31 as u64).trailing_zeros(),
+                count,
+            });
+            base += count;
+            u0 = end;
+        }
+        if u0 != 1.0 {
+            return None;
+        }
+        Some(tiers)
     }
 
     /// Locate the segment containing `u` (tiered index lookup).
@@ -193,11 +267,25 @@ impl FunctionTable {
         ((c[3] * t + c[2]) * t + c[1]) * t + c[0]
     }
 
-    /// Hardware-style evaluation: `u` as a Q31 raw value, Horner in integer
-    /// arithmetic with round-to-nearest/even after each multiply, mantissa
-    /// result + exponent out. Deterministic.
-    pub fn eval_fixed(&self, u_q31: i64) -> (i64, i32) {
-        let u = (u_q31.clamp(0, (1i64 << 31) - 1)) as f64 / (1i64 << 31) as f64;
+    /// Segment index and within-segment Q31 coordinate for a Q31 `u` —
+    /// the match half of the HTIS evaluate: one lookup shared by every
+    /// table with the same spec (the six PPIP kernels), bitwise identical
+    /// to the lookup [`Self::eval_fixed`] has always done.
+    #[inline]
+    pub fn locate_q31(&self, u_q31: i64) -> (usize, i64) {
+        let u_q31 = u_q31.clamp(0, (1i64 << 31) - 1);
+        if let Some(tiers) = &self.fast {
+            for tier in tiers {
+                if u_q31 < tier.end_q31 {
+                    let k = (((u_q31 - tier.u0_q31) >> tier.log2_w) as usize).min(tier.count - 1);
+                    let s_q31 = tier.u0_q31 + ((k as i64) << tier.log2_w);
+                    return (tier.base + k, (u_q31 - s_q31) << (31 - tier.log2_w));
+                }
+            }
+            // Unreachable when the ladder exists (its domain ends at 1 and
+            // u is clamped below it); fall through defensively.
+        }
+        let u = u_q31 as f64 / (1i64 << 31) as f64;
         let idx = self.segment_of(u);
         let (s, w) = self.bounds[idx];
         // t within segment as Q31, computed from integer u and quantized
@@ -206,8 +294,13 @@ impl FunctionTable {
         let s_q31 = rne_f64(s * (1i64 << 31) as f64) as i64;
         let inv_w = 1.0 / w;
         let t_q31 = rne_f64((u_q31 - s_q31) as f64 * inv_w) as i64;
-        let t = t_q31.clamp(0, 1i64 << 31);
+        (idx, t_q31)
+    }
 
+    /// Integer Horner over one located segment (the evaluate half).
+    #[inline]
+    pub fn eval_at(&self, idx: usize, t_q31: i64) -> (i64, i32) {
+        let t = t_q31.clamp(0, 1i64 << 31);
         let seg = &self.segments[idx];
         // Horner with Q31 t and mantissa-width accumulators.
         let mut acc = seg.coeffs[3] as i64;
@@ -215,6 +308,14 @@ impl FunctionTable {
             acc = rne_shr_i64(acc * t, 31) + seg.coeffs[k] as i64;
         }
         (acc, seg.exponent - (self.spec.mantissa_bits as i32 - 1))
+    }
+
+    /// Hardware-style evaluation: `u` as a Q31 raw value, Horner in integer
+    /// arithmetic with round-to-nearest/even after each multiply, mantissa
+    /// result + exponent out. Deterministic.
+    pub fn eval_fixed(&self, u_q31: i64) -> (i64, i32) {
+        let (idx, t_q31) = self.locate_q31(u_q31);
+        self.eval_at(idx, t_q31)
     }
 
     /// Convenience: the fixed-path value as f64 (exact conversion).
@@ -433,6 +534,56 @@ mod tests {
                 "u={u}: fixed {fx} vs f64 {fl}"
             );
         }
+    }
+
+    #[test]
+    fn fast_ladder_is_bitwise_identical_to_float_lookup() {
+        // Both shipped specs qualify for the integer index ladder; a table
+        // stripped of it (the deserialization fallback) must produce the
+        // same segment index, the same Q31 t, and the same mantissa and
+        // exponent for every representable input — including the segment
+        // boundaries, where an index ladder would first diverge.
+        for spec in [TableSpec::paper_default(), TableSpec::geometric(8, 32)] {
+            let table = FunctionTable::fit(|u| 1.0 / (u + 0.03), spec);
+            assert!(table.fast.is_some(), "shipped spec must qualify");
+            let mut slow = table.clone();
+            slow.fast = None;
+            let mut probes: Vec<i64> = (0..40_000)
+                .map(|i| (i as i64 * 53687) % ((1i64 << 31) - 1))
+                .collect();
+            for &(s, w) in &table.bounds {
+                let q = (s * (1i64 << 31) as f64) as i64;
+                let e = ((s + w) * (1i64 << 31) as f64) as i64;
+                probes.extend([q, q + 1, e - 1]);
+            }
+            probes.extend([0, (1i64 << 31) - 1]);
+            for u_q31 in probes {
+                assert_eq!(
+                    table.locate_q31(u_q31),
+                    slow.locate_q31(u_q31),
+                    "lookup diverged at u_q31={u_q31}"
+                );
+                assert_eq!(
+                    table.eval_fixed(u_q31),
+                    slow.eval_fixed(u_q31),
+                    "eval diverged at u_q31={u_q31}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_binary_tier_widths_fall_back_to_float_lookup() {
+        // 3 segments over [0,1): width 1/3 is not a power of two in Q31,
+        // so the ladder must refuse and the float path must carry.
+        let spec = TableSpec {
+            tiers: vec![(3, 1.0)],
+            mantissa_bits: 22,
+        };
+        let table = FunctionTable::fit(|u| u * u, spec);
+        assert!(table.fast.is_none());
+        let (m, e) = table.eval_fixed(1 << 30);
+        assert!((m as f64 * (2.0f64).powi(e) - 0.25).abs() < 1e-4);
     }
 
     #[test]

@@ -16,6 +16,18 @@ pub enum Phase {
     ReHome,
     /// NT tower×plate pair enumeration on one rank.
     RangeLimited,
+    /// Match sub-phase of the range-limited pipeline: tile-pair candidate
+    /// streaming, the low-precision prefilter, and the exact cutoff test
+    /// that packs surviving pairs into 8-wide batches (the ASIC's match
+    /// units).
+    Match,
+    /// Evaluate sub-phase of the range-limited pipeline: masked batch
+    /// dispatch through the PPIP table evaluator plus the force scatter.
+    Evaluate,
+    /// Trunk-side fan-out overhead: the span covers thread-pool dispatch
+    /// and join around one per-rank parallel section, so the nodes=1
+    /// threads>1 pool cost is measured rather than inferred.
+    Dispatch,
     /// Statically assigned bonded terms on one rank.
     Bonded,
     /// Correction pairs (excluded + 1-4) on one rank.
@@ -46,10 +58,13 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 17] = [
         Phase::Step,
         Phase::ReHome,
         Phase::RangeLimited,
+        Phase::Match,
+        Phase::Evaluate,
+        Phase::Dispatch,
         Phase::Bonded,
         Phase::Correction,
         Phase::Spread,
@@ -69,6 +84,9 @@ impl Phase {
             Phase::Step => "step",
             Phase::ReHome => "re_home",
             Phase::RangeLimited => "range_limited",
+            Phase::Match => "match",
+            Phase::Evaluate => "evaluate",
+            Phase::Dispatch => "dispatch",
             Phase::Bonded => "bonded",
             Phase::Correction => "correction",
             Phase::Spread => "spread",
