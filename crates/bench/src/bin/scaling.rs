@@ -73,7 +73,22 @@ struct Row {
     match_candidates: u64,
     match_pairs: u64,
     match_batches: u64,
+    /// Persistent match-cache census: how many short-range evaluations
+    /// rebuilt the tile/batch structure vs reused it. The schedule is a
+    /// pure function of the trajectory (exact fixed-point displacement
+    /// monitor), so both counts are identical in every row.
+    rebuild_steps: u64,
+    reuse_steps: u64,
     checksum: u64,
+}
+
+/// Mean steps per rebuild period (the initial build counts as a rebuild).
+fn mean_reuse_interval(rebuilds: u64, reuses: u64) -> f64 {
+    if rebuilds == 0 {
+        0.0
+    } else {
+        (rebuilds + reuses) as f64 / rebuilds as f64
+    }
 }
 
 /// Time the long-range phase in isolation, leaving the trajectory and the
@@ -101,7 +116,7 @@ fn json_escape_free(v: f64) -> String {
 fn write_json(path: &str, sys: &System, steps: u64, rows: &[Row], invariant: bool) {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"bench-scaling/v1\",\n");
+    s.push_str("  \"schema\": \"bench-scaling/v2\",\n");
     s.push_str(&format!("  \"atoms\": {},\n", sys.n_atoms()));
     s.push_str(&format!("  \"steps_per_row\": {steps},\n"));
     s.push_str("  \"rows\": [\n");
@@ -114,6 +129,8 @@ fn write_json(path: &str, sys: &System, steps: u64, rows: &[Row], invariant: boo
              \"fft_kb_per_rank_lr_step\": {}, \
              \"mesh_halo_kb_per_rank_lr_step\": {}, \"match_candidates\": {}, \
              \"match_pairs\": {}, \"match_batches\": {}, \
+             \"rebuild_steps\": {}, \"reuse_steps\": {}, \
+             \"mean_reuse_interval\": {}, \
              \"state_checksum\": \"{:016x}\"}}{}\n",
             r.nodes,
             r.threads,
@@ -129,6 +146,9 @@ fn write_json(path: &str, sys: &System, steps: u64, rows: &[Row], invariant: boo
             r.match_candidates,
             r.match_pairs,
             r.match_batches,
+            r.rebuild_steps,
+            r.reuse_steps,
+            json_escape_free(mean_reuse_interval(r.rebuild_steps, r.reuse_steps)),
             r.checksum,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -367,6 +387,8 @@ fn main() {
                 match_candidates: sim.pipeline.counters.match_candidates,
                 match_pairs: sim.pipeline.counters.match_pairs,
                 match_batches: sim.pipeline.counters.match_batches,
+                rebuild_steps: sim.pipeline.counters.rebuild_steps,
+                reuse_steps: sim.pipeline.counters.reuse_steps,
                 checksum: state_checksum(&sim),
             };
             if let Some(rs) = sim.pipeline.rank_set() {
@@ -409,6 +431,22 @@ fn main() {
     assert!(
         rows.iter().all(|r| r.match_pairs == rows[0].match_pairs),
         "match-stage pair census diverged across decompositions"
+    );
+    // The match-cache rebuild schedule is gated by an exact fixed-point
+    // displacement monitor — a pure function of the trajectory — so the
+    // rebuild/reuse split must be identical across every decomposition
+    // and thread count.
+    assert!(
+        rows.iter()
+            .all(|r| r.rebuild_steps == rows[0].rebuild_steps
+                && r.reuse_steps == rows[0].reuse_steps),
+        "match-cache rebuild schedule diverged across configurations"
+    );
+    println!(
+        "match cache: {} rebuilds / {} reuses per row (mean interval {:.2} steps), identical in every row",
+        rows[0].rebuild_steps,
+        rows[0].reuse_steps,
+        mean_reuse_interval(rows[0].rebuild_steps, rows[0].reuse_steps)
     );
     println!(
         "\nparallel invariance: {}",

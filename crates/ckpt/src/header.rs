@@ -26,8 +26,10 @@ use crate::fnv::fnv1a;
 /// File magic: "ANTon ChecKPoinT", format generation 1.
 pub const MAGIC: [u8; 8] = *b"ANTCKPT1";
 /// Current format version. Version 2 widened the exchange-counter block
-/// from 13 to 16 words (match-stage batch census).
-pub const VERSION: u32 = 2;
+/// from 13 to 16 words (match-stage batch census). Version 3 widened it
+/// again to 18 words (rebuild/reuse census) and appended the match-cache
+/// reference-epoch section to the payload.
+pub const VERSION: u32 = 3;
 /// Total encoded header size in bytes.
 pub const HEADER_LEN: usize = 64;
 /// Byte range covered by `header_fnv`.

@@ -38,6 +38,12 @@ pub struct Snapshot {
     /// Trace bookkeeping carried across a resume: `[dropped_spans,
     /// dropped_counters]`.
     pub trace_dropped: [u64; 2],
+    /// Reference-epoch positions of the persistent match cache (raw
+    /// `n_atoms × 3 × i32` little-endian fraction bits; empty when the
+    /// cache was cold). Restore rebuilds the cache at this epoch so the
+    /// displacement monitor's rebuild schedule — a pure function of the
+    /// trajectory and this reference — continues bitwise across a resume.
+    pub match_ref: Vec<u8>,
 }
 
 /// Little-endian u64 reader that tracks its own cursor.
@@ -90,7 +96,9 @@ impl<'a> Reader<'a> {
 impl Snapshot {
     /// Encode the payload section (everything after the header).
     fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.state.len() + 8 + self.counters.len() * 8 + 16);
+        let mut out = Vec::with_capacity(
+            8 + self.state.len() + 8 + self.counters.len() * 8 + 16 + 8 + self.match_ref.len(),
+        );
         out.extend_from_slice(&(self.state.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.state);
         out.extend_from_slice(&(self.counters.len() as u64).to_le_bytes());
@@ -99,6 +107,8 @@ impl Snapshot {
         }
         out.extend_from_slice(&self.trace_dropped[0].to_le_bytes());
         out.extend_from_slice(&self.trace_dropped[1].to_le_bytes());
+        out.extend_from_slice(&(self.match_ref.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.match_ref);
         out
     }
 
@@ -167,6 +177,8 @@ impl Snapshot {
             .collect();
         let dropped_spans = r.u64()?;
         let dropped_counters = r.u64()?;
+        let match_ref_len = r.u64()?;
+        let match_ref = r.take(match_ref_len, "match-cache epoch section")?.to_vec();
         if r.pos != body.len() {
             return Err(CkptError::LengthMismatch {
                 what: "payload structure",
@@ -181,6 +193,7 @@ impl Snapshot {
             state,
             counters,
             trace_dropped: [dropped_spans, dropped_counters],
+            match_ref,
         })
     }
 }
@@ -197,6 +210,7 @@ mod tests {
             state: (0u8..116).collect(),
             counters: vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13],
             trace_dropped: [0, 7],
+            match_ref: (0u8..36).collect(),
         }
     }
 

@@ -221,6 +221,7 @@ mod tests {
             state: vec![7u8; 80],
             counters: vec![step; 13],
             trace_dropped: [0, 0],
+            match_ref: vec![9u8; 24],
         }
     }
 

@@ -7,6 +7,9 @@ use anton_ckpt::{CkptError, Header, Snapshot, HEADER_LEN, VERSION};
 use proptest::prelude::*;
 
 fn snapshot(step: u64, n_atoms: u64, state: Vec<u8>, counters: Vec<u64>, dropped: u64) -> Snapshot {
+    // Derived from the state bytes so the section varies per case without
+    // consuming another strategy slot.
+    let match_ref: Vec<u8> = state.iter().rev().copied().collect();
     Snapshot {
         step,
         // Derived, not sampled: the vendored proptest caps the argument
@@ -16,6 +19,7 @@ fn snapshot(step: u64, n_atoms: u64, state: Vec<u8>, counters: Vec<u64>, dropped
         state,
         counters,
         trace_dropped: [dropped, dropped.wrapping_mul(3)],
+        match_ref,
     }
 }
 

@@ -11,6 +11,7 @@
 //! bitwise deterministic: the queue records pairs in enumeration order,
 //! and batch lane order is the canonical force-merge order (detlint D5).
 
+use anton_fixpoint::{FxVec3, QVec3, Q20};
 use anton_machine::{PairBatch, MATCH_WIDTH};
 
 /// Counts of work streamed through one match pass (merged into
@@ -27,21 +28,27 @@ pub struct BatchCensus {
 }
 
 /// Geometry sidecar of one [`PairBatch`]: which atoms each lane couples
-/// and the exact Q20 minimum-image displacement, for the force scatter
-/// and virial. The PPIP model never sees this — like the hardware, it
-/// only receives r² and kernel parameters.
+/// (for the force scatter) and each atom's flat slot in the position
+/// tiles (for the per-step coordinate gather). The displacement is *not*
+/// stored: the evaluator re-forms it from the refreshed tile positions
+/// every step, so a cached batch stays valid as atoms drift. The PPIP
+/// model never sees this — like the hardware, it only receives r² and
+/// kernel parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchMeta {
     pub i: [u32; MATCH_WIDTH],
     pub j: [u32; MATCH_WIDTH],
-    pub d: [[i64; 3]; MATCH_WIDTH],
+    /// Flat tile-pool slot of atom `i[lane]` / `j[lane]`.
+    pub si: [u32; MATCH_WIDTH],
+    pub sj: [u32; MATCH_WIDTH],
 }
 
 impl BatchMeta {
     const EMPTY: BatchMeta = BatchMeta {
         i: [0; MATCH_WIDTH],
         j: [0; MATCH_WIDTH],
-        d: [[0; 3]; MATCH_WIDTH],
+        si: [0; MATCH_WIDTH],
+        sj: [0; MATCH_WIDTH],
     };
 }
 
@@ -67,8 +74,9 @@ impl BatchQueue {
         self.census = BatchCensus::default();
     }
 
-    /// Append one cutoff-surviving pair. One argument per match-queue
-    /// field: the four evaluator lanes plus the scatter sidecar.
+    /// Append one padded-cutoff survivor. One argument per match-queue
+    /// field: the four evaluator lanes plus the scatter/gather sidecar
+    /// (atom ids and their flat tile slots).
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub fn push(
@@ -79,7 +87,8 @@ impl BatchQueue {
         lj_b: f64,
         i: u32,
         j: u32,
-        d: [i64; 3],
+        si: u32,
+        sj: u32,
     ) {
         if self.fill == 0 {
             self.batches.push(PairBatch::EMPTY);
@@ -96,9 +105,16 @@ impl BatchQueue {
         let meta = self.metas.last_mut().expect("meta pushed above");
         meta.i[lane] = i;
         meta.j[lane] = j;
-        meta.d[lane] = d;
+        meta.si[lane] = si;
+        meta.sj[lane] = sj;
         self.fill = (lane + 1) % MATCH_WIDTH;
         self.census.pairs += 1;
+    }
+
+    /// Batches currently queued (8-wide bundles including a partial tail).
+    #[inline]
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
     }
 
     /// The queued batches with their sidecars, in fill order.
@@ -106,20 +122,91 @@ impl BatchQueue {
     pub fn iter(&self) -> impl Iterator<Item = (&PairBatch, &BatchMeta)> {
         self.batches.iter().zip(&self.metas)
     }
+}
 
-    /// Every queued pair as `(min, max)` atom ids, for set comparisons.
-    #[cfg(test)]
-    pub(crate) fn matched_pairs(&self) -> Vec<(u32, u32)> {
-        let mut out = Vec::new();
-        for (batch, meta) in self.iter() {
-            for lane in 0..MATCH_WIDTH {
-                if batch.mask & (1u8 << lane) != 0 {
-                    let (i, j) = (meta.i[lane], meta.j[lane]);
-                    out.push((i.min(j), i.max(j)));
-                }
+/// Guard (Å) subtracted from the pair-list slack before squaring the
+/// rebuild threshold: it absorbs every rounding between the monitor and
+/// the match ladder (Q20 half-ulps of the per-axis displacement decode
+/// and of the two r² roundings, plus the fraction-grid decode error that
+/// `pairlist_slack_covers_decode_error` pins below `PAIRLIST_SLACK/100`),
+/// so the conservative Verlet argument survives quantization.
+const MONITOR_GUARD: f64 = 0.01;
+
+/// Exact fixed-point displacement monitor for the persistent match stage.
+///
+/// The cache keeps the raw reference positions of the last rebuild. The
+/// batches were matched against those positions at the *padded* cutoff
+/// `rc + PAIRLIST_SLACK`, so they stay a superset of every in-cutoff pair
+/// while no atom has moved more than half the slack:
+/// `r_now(i,j) ≤ r_ref(i,j) + disp(i) + disp(j) ≤ r_ref + 2·max_disp`,
+/// hence any pair inside `rc` now was inside `rc + 2·max_disp` at the
+/// rebuild. [`Self::needs_rebuild`] therefore demands a rebuild as soon
+/// as `2·max_disp ≥ PAIRLIST_SLACK − MONITOR_GUARD` (squared, in Q20, so
+/// the test is a pure integer function of the trajectory: the same
+/// schedule on every decomposition, thread count, and tracing mode).
+#[derive(Debug, Default)]
+pub struct MatchCache {
+    /// Raw positions at the last rebuild; empty = cold (forces a rebuild).
+    ref_pos: Vec<FxVec3>,
+    half_edge_q20: [Q20; 3],
+    /// Q20 of `(PAIRLIST_SLACK − MONITOR_GUARD)²`, compared against
+    /// `4·disp²` (i.e. `(2·disp)²`).
+    thresh2_q20: i64,
+}
+
+impl MatchCache {
+    pub fn new(half_edge_q20: [Q20; 3], slack: f64) -> MatchCache {
+        assert!(
+            slack > MONITOR_GUARD,
+            "pair-list slack {slack} must exceed the monitor guard"
+        );
+        let thresh = slack - MONITOR_GUARD;
+        MatchCache {
+            ref_pos: Vec::new(),
+            half_edge_q20,
+            thresh2_q20: Q20::from_f64(thresh * thresh).raw(),
+        }
+    }
+
+    /// True when the cached batch structure may no longer cover the
+    /// in-cutoff pair set: cold cache, atom count change, or some atom
+    /// displaced by half the (guarded) slack since the reference. The
+    /// displacement ladder is operation-for-operation the match stage's
+    /// `delta_q20` arithmetic, so the decision is exact and reproducible.
+    pub fn needs_rebuild(&self, positions: &[FxVec3]) -> bool {
+        if self.ref_pos.len() != positions.len() {
+            return true;
+        }
+        for (now, reference) in positions.iter().zip(&self.ref_pos) {
+            let v: QVec3<20> = now.wrapping_sub(*reference).frac_to_len(self.half_edge_q20);
+            let disp2 = v.norm2::<20>().raw();
+            if 4 * disp2 >= self.thresh2_q20 {
+                return true;
             }
         }
-        out
+        false
+    }
+
+    /// Record `positions` as the new reference epoch after a rebuild.
+    pub fn note_rebuild(&mut self, positions: &[FxVec3]) {
+        self.ref_pos.clear();
+        self.ref_pos.extend_from_slice(positions);
+    }
+
+    /// Drop the cached epoch; the next evaluation rebuilds unconditionally.
+    pub fn invalidate(&mut self) {
+        self.ref_pos.clear();
+    }
+
+    /// Whether a reference epoch is loaded.
+    pub fn is_warm(&self) -> bool {
+        !self.ref_pos.is_empty()
+    }
+
+    /// The reference positions of the current epoch (checkpointed so a
+    /// restored run continues the exact rebuild schedule).
+    pub fn ref_positions(&self) -> &[FxVec3] {
+        &self.ref_pos
     }
 }
 
@@ -224,21 +311,76 @@ mod tests {
         let mut q = BatchQueue::default();
         q.begin();
         for p in 0..11u32 {
-            q.push(p as i64 + 1, 0.5, 1.0, 2.0, p, p + 100, [p as i64, 0, -1]);
+            q.push(p as i64 + 1, 0.5, 1.0, 2.0, p, p + 100, p + 1000, p + 2000);
         }
         assert_eq!(q.census.pairs, 11);
         assert_eq!(q.census.batches, 2);
+        assert_eq!(q.batch_count(), 2);
         let got: Vec<_> = q.iter().collect();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].0.mask, 0xff);
         assert_eq!(got[1].0.mask, 0b0000_0111);
         assert_eq!(got[1].1.i[2], 10);
         assert_eq!(got[1].1.j[2], 110);
+        assert_eq!(got[1].1.si[2], 1010);
+        assert_eq!(got[1].1.sj[2], 2010);
         assert_eq!(got[0].0.r2_q20[7], 8);
         // begin() resets, keeping nothing from the previous pass.
         q.begin();
         assert_eq!(q.iter().count(), 0);
+        assert_eq!(q.batch_count(), 0);
         assert_eq!(q.census, BatchCensus::default());
+    }
+
+    #[test]
+    fn monitor_is_cold_until_noted_and_tracks_atom_count() {
+        let he = [Q20::from_f64(11.0); 3];
+        let mut cache = MatchCache::new(he, 0.5);
+        let pos = vec![FxVec3::from_unit_frac([0.25, 0.0, -0.5]); 4];
+        assert!(!cache.is_warm());
+        assert!(cache.needs_rebuild(&pos), "cold cache must rebuild");
+        cache.note_rebuild(&pos);
+        assert!(cache.is_warm());
+        assert!(!cache.needs_rebuild(&pos), "unmoved atoms reuse");
+        assert!(
+            cache.needs_rebuild(&pos[..3]),
+            "atom count change must rebuild"
+        );
+        cache.invalidate();
+        assert!(cache.needs_rebuild(&pos), "invalidated cache must rebuild");
+    }
+
+    #[test]
+    fn monitor_trips_exactly_at_half_guarded_slack() {
+        // 22 Å box (half-edge 11 Å), slack 0.5 Å → threshold on one atom's
+        // displacement is (0.5 − MONITOR_GUARD)/2 = 0.245 Å.
+        let he = [Q20::from_f64(11.0); 3];
+        let mut cache = MatchCache::new(he, 0.5);
+        let base = vec![FxVec3::from_unit_frac([0.0; 3]); 8];
+        cache.note_rebuild(&base);
+        let moved_by = |ang: f64| {
+            let mut pos = base.clone();
+            // `from_unit_frac` takes a fraction of the *full* 22 Å edge.
+            pos[5] = FxVec3::from_unit_frac([ang / 22.0, 0.0, 0.0]);
+            pos
+        };
+        assert!(!cache.needs_rebuild(&moved_by(0.2449)));
+        assert!(cache.needs_rebuild(&moved_by(0.2451)));
+        // Displacement is measured since the *reference*, not the last step.
+        cache.note_rebuild(&moved_by(0.2451));
+        assert!(!cache.needs_rebuild(&moved_by(0.2451 + 0.2449)));
+        assert!(cache.needs_rebuild(&moved_by(0.2451 + 0.2451)));
+    }
+
+    #[test]
+    fn monitor_uses_minimum_image_displacement() {
+        // An atom nudged across the periodic seam moves a hair, not a box.
+        let he = [Q20::from_f64(11.0); 3];
+        let mut cache = MatchCache::new(he, 0.5);
+        let mut pos = vec![FxVec3::from_unit_frac([0.999_999_9, 0.0, 0.0]); 2];
+        cache.note_rebuild(&pos);
+        pos[1] = FxVec3::from_unit_frac([-0.999_999_9, 0.0, 0.0]);
+        assert!(!cache.needs_rebuild(&pos));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::pool::threads_from_env;
 use crate::state::{FixedState, FORCE_FRAC, VEL_FRAC};
 use anton_ckpt::{CheckpointStore, CkptError, Fingerprint, Snapshot};
 use anton_fixpoint::rounding::rne_f64;
+use anton_fixpoint::{Fx32, FxVec3};
 use anton_forcefield::units::ACCEL;
 use anton_geometry::Vec3;
 use anton_machine::ExchangeCounters;
@@ -531,6 +532,15 @@ impl AntonSimulation {
             Some(b) => (b.dropped_spans(), b.dropped_counters()),
             None => (0, 0),
         };
+        // Match-cache reference epoch: the positions the displacement
+        // monitor measures against. Restore rebuilds the cache at exactly
+        // this epoch so the rebuild schedule continues bitwise.
+        let mut match_ref = Vec::with_capacity(self.pipeline.match_ref_positions().len() * 12);
+        for p in self.pipeline.match_ref_positions() {
+            for k in 0..3 {
+                match_ref.extend_from_slice(&p.0[k].raw().to_le_bytes());
+            }
+        }
         Snapshot {
             step: self.step,
             fingerprint: self.fingerprint,
@@ -538,6 +548,7 @@ impl AntonSimulation {
             state: self.state.to_bytes().to_vec(),
             counters: self.pipeline.counters.to_words().to_vec(),
             trace_dropped: [dropped_spans, dropped_counters],
+            match_ref,
         }
     }
 
@@ -569,6 +580,33 @@ impl AntonSimulation {
         }
         self.state = state;
         self.step = snap.step;
+        // Rebuild the persistent match cache at the snapshot's reference
+        // epoch *before* the force refresh: the refresh then takes the same
+        // rebuild-or-reuse decision the uninterrupted run took, so the
+        // displacement monitor's schedule (and the forces it gates)
+        // continues bitwise across the resume.
+        if snap.match_ref.is_empty() {
+            self.pipeline.invalidate_match_cache();
+        } else {
+            let n = self.state.n_atoms();
+            if snap.match_ref.len() != n * 12 {
+                return Err(CkptError::LengthMismatch {
+                    what: "match-cache epoch section",
+                    expected: (n * 12) as u64,
+                    got: snap.match_ref.len() as u64,
+                });
+            }
+            let ref_pos: Vec<FxVec3> = snap
+                .match_ref
+                .chunks_exact(12)
+                .map(|c| {
+                    FxVec3(core::array::from_fn(|k| {
+                        Fx32(i32::from_le_bytes(c[k * 4..k * 4 + 4].try_into().unwrap()))
+                    }))
+                })
+                .collect();
+            self.pipeline.rebuild_match_cache_at(&self.system, &ref_pos);
+        }
         self.refresh_all_forces();
         // Counters restore *after* the force refresh: the refresh meters
         // traffic the uninterrupted run would not have double-counted.
@@ -959,6 +997,21 @@ mod tests {
         assert_eq!(
             resumed.step_count(),
             3 * resumed.system.params.longrange_every.max(1) as u64
+        );
+        // The checkpoint must land *inside* a cache-reuse window for this
+        // test to exercise the serialized ref epoch: the restored match
+        // reference has to be the older rebuild-time positions, not the
+        // positions at the checkpointed step. If the schedule ever shifts
+        // so the checkpoint coincides with a rebuild step, this assert
+        // flags the test as vacuous rather than silently passing.
+        assert!(
+            resumed
+                .pipeline
+                .match_ref_positions()
+                .iter()
+                .zip(&resumed.state.positions)
+                .any(|(r, p)| r != p),
+            "checkpoint landed on a rebuild step; move it to cross a reuse window"
         );
         resumed.run_cycles(2);
         assert_eq!(resumed.state, golden.state, "resumed trajectory diverged");

@@ -19,7 +19,7 @@
 //! filled, never its contents, so trajectories are bitwise invariant across
 //! node count *and* worker-thread count.
 
-use crate::batch::{BatchQueue, CellTiling};
+use crate::batch::{BatchQueue, CellTiling, MatchCache};
 use crate::pool::DetPool;
 use crate::ranks::RankSet;
 use crate::state::{FixedState, ENERGY_FRAC, FORCE_FRAC};
@@ -27,7 +27,7 @@ use anton_ewald::direct::DirectKernel;
 use anton_ewald::gse::{GseFixed, GseParams, GseScratch, MeshAtoms, SupportScratch};
 use anton_ewald::Mesh;
 use anton_fixpoint::rounding::rne_f64;
-use anton_fixpoint::Q20;
+use anton_fixpoint::{FxVec3, Q20};
 use anton_forcefield::bonded;
 use anton_forcefield::ExclusionPolicy;
 use anton_geometry::{Buckets, PosTiles, TileView, Vec3};
@@ -140,7 +140,16 @@ impl RawForces {
 /// — the per-pair integer test always makes the final decision. Shared by
 /// the cell-grid build, its pair sweep, and the tile pipeline's cell-pair
 /// reach so the decode slack can never drift between sites.
-pub const PAIRLIST_SLACK: f64 = 0.2;
+///
+/// Since PR 8 this is also the Verlet buffer of the persistent match
+/// cache: batches are matched once at `cutoff + PAIRLIST_SLACK` and
+/// replayed until some atom has moved half the slack
+/// ([`MatchCache::needs_rebuild`]), so the value trades padded-set size
+/// (grows with the cube of `(rc + slack)/rc`) against rebuild frequency
+/// (reuse interval grows linearly with the slack). It never affects
+/// forces — the exact `r² ≤ rc²` mask is applied every evaluation — so
+/// retuning it leaves every golden checksum unchanged.
+pub const PAIRLIST_SLACK: f64 = 1.0;
 
 /// The pipeline bound to one system and one decomposition.
 pub struct ForcePipeline {
@@ -171,10 +180,23 @@ pub struct ForcePipeline {
     /// Machine model pricing the metered traffic of trace counters
     /// (`Nodes(n)` only).
     machine: Option<MachineConfig>,
+    /// Q20 of the *padded* match cutoff `(rc + PAIRLIST_SLACK)²`: the
+    /// radius batches are matched at, so the cached pair set stays a
+    /// superset of the in-cutoff set while the displacement monitor holds.
+    rc_pad2_q20: i64,
     /// Upper bound on the match stage's integer lower-bound r² (Q40):
-    /// `(rc2_q20 << 20)` plus a margin covering the floor-vs-RNE gap of the
-    /// per-axis bound and the single RNE rounding of the exact r².
+    /// `(rc_pad2_q20 << 20)` plus a margin covering the floor-vs-RNE gap
+    /// of the per-axis bound and the single RNE rounding of the exact r².
     r2_lb_max: i64,
+    /// Displacement monitor + reference epoch of the persistent match
+    /// stage, shared by both decompositions (the rebuild schedule is a
+    /// pure function of the trajectory, never of the decomposition).
+    cache: MatchCache,
+    /// Static packed correction stream (precomputed nonzero charge
+    /// products), serial form for the single-rank path.
+    corr_all: Vec<(u32, u32, f64)>,
+    /// Per-rank static packed correction streams (`Nodes(n)` path).
+    corr_rank: Vec<Vec<(u32, u32, f64)>>,
     /// Single-rank tile pipeline state (`None` under `Nodes(n)`).
     single: Option<SingleTiles>,
     /// Per-box SoA position/charge tiles shared by the rank fan-out
@@ -197,12 +219,18 @@ pub struct ForcePipeline {
 struct RankScratch {
     forces: RawForces,
     lane: Lane,
-    /// The rank's match-batch queue (capacity retained across steps).
+    /// The rank's match-batch queue. Persistent: refilled only on cache
+    /// rebuild steps, replayed (against refreshed tile positions) on
+    /// reuse steps.
     queue: BatchQueue,
+    /// Pairs that passed the exact per-step cutoff mask in the last
+    /// evaluation, merged into the census in rank order on the trunk.
+    live_pairs: u64,
 }
 
 /// Single-rank tile pipeline state: the static cell tiling plus the
-/// buckets, SoA tiles and match queue rebuilt from it every evaluation.
+/// buckets, SoA tiles and match queue — rebuilt on cache-rebuild steps,
+/// position-refreshed and replayed on reuse steps.
 /// Held in an `Option` so the evaluation can detach it from `self` while
 /// borrowing the pipeline shared.
 struct SingleTiles {
@@ -277,6 +305,67 @@ impl ForcePipeline {
             )
         });
         let rc2_q20 = Q20::from_f64(sys.params.cutoff * sys.params.cutoff).raw();
+        let rc_pad = sys.params.cutoff + PAIRLIST_SLACK;
+        let rc_pad2_q20 = Q20::from_f64(rc_pad * rc_pad).raw();
+        let half_edge_q20 = [
+            Q20::from_f64(e.x / 2.0),
+            Q20::from_f64(e.y / 2.0),
+            Q20::from_f64(e.z / 2.0),
+        ];
+        // Static packed correction streams: the excluded / 1-4 pair lists
+        // never change, so the charge products and zero-product filtering
+        // are hoisted out of the per-step stream once, here. The products
+        // are the same f64 multiplications the per-step path performed, so
+        // the evaluated corrections are bitwise unchanged.
+        let policy = sys
+            .topology
+            .exclusions
+            .policy
+            .unwrap_or(ExclusionPolicy::amber_like());
+        let pack = |pairs: &mut dyn Iterator<Item = (u32, u32, f64)>| -> Vec<(u32, u32, f64)> {
+            let charge = &sys.topology.charge;
+            pairs
+                .filter_map(|(i, j, scale)| {
+                    let qq = charge[i as usize] * charge[j as usize] * scale;
+                    (qq != 0.0).then_some((i, j, qq))
+                })
+                .collect()
+        };
+        let s14 = 1.0 - policy.elec_14;
+        let excl = sys.topology.exclusions.excluded_pairs();
+        let p14 = sys.topology.exclusions.pairs_14();
+        let (corr_all, corr_rank) = match &ranks {
+            None => (
+                pack(
+                    &mut excl
+                        .iter()
+                        .map(|&(i, j)| (i, j, 1.0))
+                        .chain(p14.iter().map(|&(i, j)| (i, j, s14))),
+                ),
+                Vec::new(),
+            ),
+            Some(rs) => (
+                Vec::new(),
+                rs.ranks
+                    .iter()
+                    .map(|rank| {
+                        pack(
+                            &mut rank
+                                .excl
+                                .iter()
+                                .map(|&k| {
+                                    let (i, j) = excl[k as usize];
+                                    (i, j, 1.0)
+                                })
+                                .chain(rank.pair14.iter().map(|&k| {
+                                    let (i, j) = p14[k as usize];
+                                    (i, j, s14)
+                                })),
+                        )
+                    })
+                    .collect(),
+            ),
+        };
         let single = match decomposition {
             Decomposition::SingleRank => Some(SingleTiles {
                 tiling: CellTiling::build([e.x, e.y, e.z], sys.params.cutoff + PAIRLIST_SLACK),
@@ -292,16 +381,8 @@ impl ForcePipeline {
             beta,
             corr_kernel: DirectKernel::reference(beta, sys.params.cutoff),
             rc2_q20,
-            half_edge_q20: [
-                Q20::from_f64(e.x / 2.0),
-                Q20::from_f64(e.y / 2.0),
-                Q20::from_f64(e.z / 2.0),
-            ],
-            policy: sys
-                .topology
-                .exclusions
-                .policy
-                .unwrap_or(ExclusionPolicy::amber_like()),
+            half_edge_q20,
+            policy,
             import_margin: IMPORT_MARGIN,
             decomposition,
             pool: DetPool::new(threads),
@@ -313,7 +394,11 @@ impl ForcePipeline {
                 Decomposition::SingleRank => None,
                 Decomposition::Nodes(n) => Some(MachineConfig::with_nodes(n)),
             },
-            r2_lb_max: (rc2_q20 << 20) + (1 << 27),
+            rc_pad2_q20,
+            r2_lb_max: (rc_pad2_q20 << 20) + (1 << 27),
+            cache: MatchCache::new(half_edge_q20, PAIRLIST_SLACK),
+            corr_all,
+            corr_rank,
             single,
             node_tiles: PosTiles::default(),
             scratch: Vec::new(),
@@ -491,21 +576,31 @@ impl ForcePipeline {
     }
 
     /// Stream one tile pair through a match unit: integer low-precision
-    /// prefilter on the raw fraction deltas, exact Q20 r² + cutoff test
-    /// (the cutoff is a mask, never a branch on decoded floats),
-    /// exclusion/1-4 classification, and lane fill into `q`. `same` marks
-    /// a tile paired with itself, where slots enumerate `si < sj`.
+    /// prefilter on the raw fraction deltas, exact Q20 r² against the
+    /// *padded* cutoff `(rc + PAIRLIST_SLACK)²`, exclusion/1-4
+    /// classification, and lane fill into `q`. `same` marks a tile paired
+    /// with itself, where slots enumerate `si < sj`. `sa0`/`sb0` are the
+    /// tiles' first flat slots in the owning [`PosTiles`] pool; the queue
+    /// records each lane's slot pair so reuse steps can re-derive the
+    /// displacement from refreshed tile positions.
     ///
-    /// Per surviving pair this performs *identical arithmetic* to the
-    /// scalar oracle: the exact displacement is
-    /// `rne_shr_i128(d_frac · half_edge_raw, 31)`, operation for operation
-    /// what `FixedState::delta_q20` computes via `Fx32::scale`.
+    /// Matching at the padded radius makes the queued set a superset of
+    /// the in-cutoff set for every step the displacement monitor accepts;
+    /// the exact `r² ≤ rc²` decision is re-taken per evaluation (with
+    /// arithmetic identical operation for operation to the scalar
+    /// oracle's `FixedState::delta_q20` + RNE r² ladder), so *which*
+    /// pairs contribute never depends on when the batch was matched.
+    // The argument list is the tile-pair tuple the cell walk produces;
+    // bundling it into a struct would only rename the call sites.
+    #[allow(clippy::too_many_arguments)]
     fn match_tile_pair(
         &self,
         sys: &System,
         a: TileView<'_>,
         b: TileView<'_>,
         same: bool,
+        sa0: u32,
+        sb0: u32,
         q: &mut BatchQueue,
     ) {
         let top = &sys.topology;
@@ -535,7 +630,10 @@ impl ForcePipeline {
                     continue;
                 }
                 // Exact displacement and r², identical arithmetic to the
-                // scalar `delta_q20` path + cutoff test.
+                // scalar `delta_q20` path; the test is against the padded
+                // radius, and coincident pairs (r² = 0) are *kept* — the
+                // evaluator's per-step mask makes the final call either
+                // way, so the match stage only has to be conservative.
                 let d = [
                     anton_fixpoint::rne_shr_i128(dx as i128 * he[0] as i128, 31),
                     anton_fixpoint::rne_shr_i128(dy as i128 * he[1] as i128, 31),
@@ -545,7 +643,7 @@ impl ForcePipeline {
                     + d[1] as i128 * d[1] as i128
                     + d[2] as i128 * d[2] as i128;
                 let r2 = anton_fixpoint::rne_shr_i128(sum, 20);
-                if r2 > self.rc2_q20 || r2 == 0 {
+                if r2 > self.rc_pad2_q20 {
                     continue;
                 }
                 let aj = b.atom[sj];
@@ -561,27 +659,86 @@ impl ForcePipeline {
                 let (lja, ljb) = top
                     .lj_table
                     .coeffs(top.lj_type[ai as usize], top.lj_type[aj as usize]);
-                q.push(r2, qq, lja * sl, ljb * sl, ai, aj, d);
+                q.push(
+                    r2,
+                    qq,
+                    lja * sl,
+                    ljb * sl,
+                    ai,
+                    aj,
+                    sa0 + si as u32,
+                    sb0 + sj as u32,
+                );
             }
         }
     }
 
-    /// Drain the queued batches through the PPIP evaluator and scatter the
-    /// quantized forces, virial and energy. Batch order is the queue's
-    /// fill order (fixed by enumeration), and per-pair arithmetic matches
-    /// the scalar oracle bitwise.
-    fn evaluate_batches(&self, q: &BatchQueue, out: &mut RawForces) {
+    /// Replay the queued batches against the *current* tile positions:
+    /// per occupied lane, re-derive the exact Q20 displacement and r² from
+    /// the refreshed tiles (the same `rne_shr_i128` ladder the match stage
+    /// and scalar oracle use), re-take the exact `r² ≤ rc²` cutoff mask,
+    /// then dispatch the surviving lanes through the PPIP evaluator and
+    /// scatter the quantized forces, virial and energy.
+    ///
+    /// The cached batch contributes only the pair's *static* identity
+    /// (atom ids, tile slots, charge product, LJ coefficients) — every
+    /// position-dependent quantity is recomputed here, so the force bits
+    /// are a pure function of the current positions: evaluating a freshly
+    /// matched queue and a cache-replayed queue over the same positions
+    /// produces identical accumulators, lane for lane. Returns the number
+    /// of live (in-cutoff) pairs, which is likewise rebuild-schedule
+    /// independent.
+    fn evaluate_batches(&self, q: &BatchQueue, tiles: &PosTiles, out: &mut RawForces) -> u64 {
+        let he = [
+            self.half_edge_q20[0].raw(),
+            self.half_edge_q20[1].raw(),
+            self.half_edge_q20[2].raw(),
+        ];
         let ds = 1.0 / (1i64 << 20) as f64;
         let fs = (1i64 << FORCE_FRAC) as f64;
         let es = (1u64 << ENERGY_FRAC) as f64;
         let mut vals = [(0.0f64, 0.0f64); MATCH_WIDTH];
+        let mut live_pairs = 0u64;
         for (batch, meta) in q.iter() {
-            self.ppip.pair_batch(batch, &mut vals);
-            for (lane, &(f_over_r, e)) in vals.iter().enumerate() {
+            let mut live = *batch;
+            let mut dd = [[0i64; 3]; MATCH_WIDTH];
+            let mut mask = 0u8;
+            for (lane, d_out) in dd.iter_mut().enumerate() {
                 if batch.mask & (1u8 << lane) == 0 {
                     continue;
                 }
-                let d = meta.d[lane];
+                let pa = tiles.raw_at(meta.si[lane]);
+                let pb = tiles.raw_at(meta.sj[lane]);
+                let dx = pa[0].wrapping_sub(pb[0]) as i64;
+                let dy = pa[1].wrapping_sub(pb[1]) as i64;
+                let dz = pa[2].wrapping_sub(pb[2]) as i64;
+                let d = [
+                    anton_fixpoint::rne_shr_i128(dx as i128 * he[0] as i128, 31),
+                    anton_fixpoint::rne_shr_i128(dy as i128 * he[1] as i128, 31),
+                    anton_fixpoint::rne_shr_i128(dz as i128 * he[2] as i128, 31),
+                ];
+                let sum: i128 = d[0] as i128 * d[0] as i128
+                    + d[1] as i128 * d[1] as i128
+                    + d[2] as i128 * d[2] as i128;
+                let r2 = anton_fixpoint::rne_shr_i128(sum, 20);
+                if r2 > self.rc2_q20 || r2 == 0 {
+                    continue;
+                }
+                live.r2_q20[lane] = r2;
+                *d_out = d;
+                mask |= 1u8 << lane;
+            }
+            live.mask = mask;
+            if mask == 0 {
+                continue;
+            }
+            live_pairs += u64::from(mask.count_ones());
+            self.ppip.pair_batch(&live, &mut vals);
+            for (lane, &(f_over_r, e)) in vals.iter().enumerate() {
+                if mask & (1u8 << lane) == 0 {
+                    continue;
+                }
+                let d = dd[lane];
                 let fi = [
                     rne_f64(d[0] as f64 * ds * f_over_r * fs) as i64,
                     rne_f64(d[1] as f64 * ds * f_over_r * fs) as i64,
@@ -599,28 +756,28 @@ impl ForcePipeline {
                 out.e_range_limited = out.e_range_limited.wrapping_add(rne_f64(e * es) as i64);
             }
         }
+        live_pairs
     }
 
-    /// Single-rank range-limited phase on the tile pipeline: bin atoms
-    /// into the static cell tiling from their raw fraction bits, rebuild
-    /// the SoA tiles, stream the conservative cell-pair list through the
-    /// match stage, then evaluate the batches. Allocation-free in steady
-    /// state; emits Match/Evaluate sub-spans inside the RangeLimited span.
-    fn range_limited_tiles(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
-        let mut st = self.single.take().expect("single-rank tile state");
+    /// Rebuild the single-rank cache structure at the given positions:
+    /// re-bin atoms into the static cell tiling, refill the SoA tiles, and
+    /// stream the conservative cell-pair list through the padded-cutoff
+    /// match stage into the persistent queue. Pure structure work — no
+    /// spans, counters or monitor bookkeeping — shared by the production
+    /// rebuild arm and checkpoint restore (which rebuilds at the cached
+    /// *reference* epoch rather than the restored step's positions).
+    fn rebuild_single_cache(&self, sys: &System, positions: &[FxVec3], st: &mut SingleTiles) {
         let n_cells = st.tiling.cell_count();
         {
             let SingleTiles {
                 tiling, buckets, ..
-            } = &mut st;
-            let positions = &state.positions;
-            buckets.rebuild(n_cells, sys.n_atoms(), |i| {
+            } = st;
+            buckets.rebuild(n_cells, positions.len(), |i| {
                 let p = &positions[i].0;
                 tiling.cell_of([p[0].raw(), p[1].raw(), p[2].raw()])
             });
         }
         {
-            let positions = &state.positions;
             let charge = &sys.topology.charge;
             let buckets = &st.buckets;
             st.tiles
@@ -629,7 +786,6 @@ impl ForcePipeline {
                     ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
                 });
         }
-        let t0 = self.trace.now_ns();
         st.queue.begin();
         for &(ca, cb) in st.tiling.pairs() {
             self.match_tile_pair(
@@ -637,17 +793,54 @@ impl ForcePipeline {
                 st.tiles.tile(ca as usize),
                 st.tiles.tile(cb as usize),
                 ca == cb,
+                st.tiles.tile_start(ca as usize) as u32,
+                st.tiles.tile_start(cb as usize) as u32,
                 &mut st.queue,
             );
         }
-        self.trace.end_span(Phase::Match, RANK_MAIN, t0);
+    }
+
+    /// Single-rank range-limited phase on the persistent tile pipeline.
+    ///
+    /// When the displacement monitor trips ([`MatchCache::needs_rebuild`]):
+    /// re-bin atoms into the static cell tiling from their raw fraction
+    /// bits, rebuild the SoA tiles, and stream the conservative cell-pair
+    /// list through the padded-cutoff match stage (the CacheRebuild span,
+    /// with the Match sub-span inside it). Otherwise: refresh the tile
+    /// positions in place and keep the cached batch structure (the
+    /// CacheReuse span). Either way the queued batches are then replayed
+    /// against the current positions by [`Self::evaluate_batches`], whose
+    /// exact per-step cutoff mask makes the forces independent of which
+    /// arm ran. Allocation-free in steady state.
+    fn range_limited_tiles(&mut self, sys: &System, state: &FixedState, out: &mut RawForces) {
+        let mut st = self.single.take().expect("single-rank tile state");
+        if self.cache.needs_rebuild(&state.positions) {
+            let t_cache = self.trace.now_ns();
+            let t0 = self.trace.now_ns();
+            self.rebuild_single_cache(sys, &state.positions, &mut st);
+            self.trace.end_span(Phase::Match, RANK_MAIN, t0);
+            self.cache.note_rebuild(&state.positions);
+            self.counters.match_candidates += st.queue.census.candidates;
+            self.counters.rebuild_steps += 1;
+            self.trace.end_span(Phase::CacheRebuild, RANK_MAIN, t_cache);
+        } else {
+            let t_cache = self.trace.now_ns();
+            let positions = &state.positions;
+            st.tiles.refresh_positions(|a| {
+                let p = &positions[a as usize].0;
+                [p[0].raw(), p[1].raw(), p[2].raw()]
+            });
+            self.counters.reuse_steps += 1;
+            self.trace.end_span(Phase::CacheReuse, RANK_MAIN, t_cache);
+        }
         let t0 = self.trace.now_ns();
-        self.evaluate_batches(&st.queue, out);
+        let live = self.evaluate_batches(&st.queue, &st.tiles, out);
         self.trace.end_span(Phase::Evaluate, RANK_MAIN, t0);
-        let c = st.queue.census;
-        self.counters.match_candidates += c.candidates;
-        self.counters.match_pairs += c.pairs;
-        self.counters.match_batches += c.batches;
+        // Live pairs (and batch count) are metered per *evaluation*, so the
+        // census totals are a pure function of the trajectory — identical
+        // across decompositions, thread counts and rebuild schedules.
+        self.counters.match_pairs += live;
+        self.counters.match_batches += st.queue.batch_count() as u64;
         self.single = Some(st);
     }
 
@@ -700,7 +893,7 @@ impl ForcePipeline {
             self.reciprocal(sys, state, out);
             self.trace.end_span(Phase::Reciprocal, RANK_MAIN, t0);
             let t0 = self.trace.now_ns();
-            self.corrections(sys, state, out);
+            self.corrections(state, out);
             self.trace.end_span(Phase::Correction, RANK_MAIN, t0);
             return;
         }
@@ -786,7 +979,7 @@ impl ForcePipeline {
                 &mut lr,
                 |r, s| {
                     let t = this.trace.now_ns();
-                    this.rank_corrections(sys, state, rs, r, &mut s.forces);
+                    this.rank_corrections(state, r, &mut s.forces);
                     if this.trace.is_on() {
                         s.lane.push(Phase::Correction, t, this.trace.now_ns());
                     }
@@ -868,6 +1061,7 @@ impl ForcePipeline {
             forces: RawForces::zeroed(n_atoms),
             lane: Lane::new(),
             queue: BatchQueue::default(),
+            live_pairs: 0,
         });
         for s in &mut scratch {
             if s.forces.f.len() == n_atoms {
@@ -890,6 +1084,10 @@ impl ForcePipeline {
         out: &mut RawForces,
         with_bonded: bool,
     ) {
+        // The monitor reads only the trajectory (positions vs the cached
+        // reference), so this decision — and with it the whole rebuild
+        // schedule — is identical on every decomposition and thread count.
+        let rebuild = self.cache.needs_rebuild(&state.positions);
         let before = self.counters;
         let t0 = self.trace.now_ns();
         {
@@ -897,15 +1095,26 @@ impl ForcePipeline {
                 .ranks
                 .as_mut()
                 .expect("rank fan-out without a rank set");
-            rs.prepare(state, &mut self.counters);
+            if rebuild {
+                rs.prepare(state, &mut self.counters);
+            } else {
+                // Deferred migration (§3.2.4): between pair-list rebuilds
+                // atoms keep their home boxes — the frozen assignment is
+                // covered by the NT import margin — and only the static
+                // exchange plan's per-step traffic is metered.
+                rs.meter_step(&mut self.counters);
+            }
         }
         self.trace.end_span(Phase::ReHome, RANK_MAIN, t0);
         self.meter_since(before);
         if with_bonded {
             state.decode_positions_into(&sys.pbox, &mut self.pos_buf);
         }
-        // Rebuild the shared per-box SoA tiles once, on the trunk; every
-        // rank streams its tower × plate tile pairs out of this pool.
+        // Rebuild the shared per-box SoA tiles once, on the trunk (cache
+        // rebuild), or refresh their positions in place under the frozen
+        // membership (cache reuse); every rank streams its tower × plate
+        // tile pairs out of this pool.
+        let t_cache = self.trace.now_ns();
         {
             let ForcePipeline {
                 node_tiles, ranks, ..
@@ -913,11 +1122,33 @@ impl ForcePipeline {
             let rs = ranks.as_ref().expect("rank set checked above");
             let positions = &state.positions;
             let charge = &sys.topology.charge;
-            node_tiles.rebuild((0..rs.grid.node_count()).map(|b| rs.atoms_in_box(b)), |a| {
-                let p = &positions[a as usize].0;
-                ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
-            });
+            if rebuild {
+                node_tiles.rebuild((0..rs.grid.node_count()).map(|b| rs.atoms_in_box(b)), |a| {
+                    let p = &positions[a as usize].0;
+                    ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
+                });
+            } else {
+                node_tiles.refresh_positions(|a| {
+                    let p = &positions[a as usize].0;
+                    [p[0].raw(), p[1].raw(), p[2].raw()]
+                });
+            }
         }
+        if rebuild {
+            self.cache.note_rebuild(&state.positions);
+            self.counters.rebuild_steps += 1;
+        } else {
+            self.counters.reuse_steps += 1;
+        }
+        self.trace.end_span(
+            if rebuild {
+                Phase::CacheRebuild
+            } else {
+                Phase::CacheReuse
+            },
+            RANK_MAIN,
+            t_cache,
+        );
         let mut scratch = self.take_scratch(sys.n_atoms());
         // Dispatch span: trunk-side wall time of the whole fan-out,
         // covering pool dispatch/join overhead around the rank work.
@@ -927,7 +1158,7 @@ impl ForcePipeline {
             let rs = this.ranks.as_ref().expect("rank set checked above");
             this.pool.run(&mut scratch, |r, buf| {
                 let t = this.trace.now_ns();
-                this.rank_pairs_batched(sys, rs, r, buf);
+                this.rank_pairs_batched(sys, rs, r, buf, rebuild);
                 if this.trace.is_on() {
                     buf.lane.push(Phase::RangeLimited, t, this.trace.now_ns());
                 }
@@ -946,48 +1177,157 @@ impl ForcePipeline {
             .merge_lanes(self.scratch.iter_mut().map(|s| &mut s.lane));
         for s in &self.scratch {
             out.merge_from(&s.forces);
-            let c = s.queue.census;
-            self.counters.match_candidates += c.candidates;
-            self.counters.match_pairs += c.pairs;
-            self.counters.match_batches += c.batches;
+            if rebuild {
+                self.counters.match_candidates += s.queue.census.candidates;
+            }
+            self.counters.match_pairs += s.live_pairs;
+            self.counters.match_batches += s.queue.batch_count() as u64;
         }
     }
 
-    /// Batched NT-method pair phase for one rank: stream the rank's
-    /// tower × plate tile pairs through the match stage, then drain the
-    /// batches through the evaluator. The exactly-once ownership test is
-    /// hoisted from per atom pair to per *box* pair — every atom in a box
-    /// shares that box's (canonical) home coordinate, so
-    /// `node_for_pair(coord(a), coord(b))` decides for all its pairs at
-    /// once. The exact fixed-point cutoff filter makes the interaction
-    /// set identical to the single-rank path; wrapping accumulation makes
-    /// the *forces* identical bitwise.
-    fn rank_pairs_batched(&self, sys: &System, rs: &RankSet, r: usize, buf: &mut RankScratch) {
-        let rank = &rs.ranks[r];
+    /// Batched NT-method pair phase for one rank: on cache-rebuild steps,
+    /// stream the rank's tower × plate tile pairs through the padded match
+    /// stage into the rank's persistent queue; on reuse steps, keep the
+    /// queue and replay it against the refreshed shared tiles. The
+    /// exactly-once ownership test is hoisted from per atom pair to per
+    /// *box* pair — every atom in a box shares that box's (canonical) home
+    /// coordinate, so `node_for_pair(coord(a), coord(b))` decides for all
+    /// its pairs at once. The evaluator's exact per-step cutoff mask makes
+    /// the interaction set identical to the single-rank path (and to a
+    /// fresh rebuild); wrapping accumulation makes the *forces* identical
+    /// bitwise.
+    fn rank_pairs_batched(
+        &self,
+        sys: &System,
+        rs: &RankSet,
+        r: usize,
+        buf: &mut RankScratch,
+        rebuild: bool,
+    ) {
+        if rebuild {
+            let t0 = self.trace.now_ns();
+            self.fill_rank_queue(sys, rs, r, &mut buf.queue);
+            if self.trace.is_on() {
+                buf.lane.push(Phase::Match, t0, self.trace.now_ns());
+            }
+        }
         let t0 = self.trace.now_ns();
-        buf.queue.begin();
+        buf.live_pairs = self.evaluate_batches(&buf.queue, &self.node_tiles, &mut buf.forces);
+        if self.trace.is_on() {
+            buf.lane.push(Phase::Evaluate, t0, self.trace.now_ns());
+        }
+    }
+
+    /// Reference-epoch positions of the persistent match cache — the
+    /// positions its tiles and batches were last rebuilt at (empty while
+    /// the cache is cold). Checkpointing serializes these so restore can
+    /// resurrect the cache at the same epoch.
+    pub fn match_ref_positions(&self) -> &[FxVec3] {
+        self.cache.ref_positions()
+    }
+
+    /// Drop the persistent match cache: the next force evaluation rebuilds
+    /// tiles and batches from scratch. Forces are unaffected by
+    /// construction — the evaluator re-derives the interaction set from
+    /// current positions every step — so this is safe at any point; the
+    /// property tier uses it to pit a rebuild-every-step pipeline against
+    /// a caching one, bit for bit.
+    pub fn invalidate_match_cache(&mut self) {
+        self.cache.invalidate();
+    }
+
+    /// Rebuild the persistent match cache — tiles, tile-pair batches, and
+    /// the displacement reference — at the given *reference-epoch*
+    /// positions, exactly as the interrupted run built it. Checkpoint
+    /// restore calls this before re-evaluating forces: rebuilding at the
+    /// cached epoch (rather than at the restored step's positions)
+    /// reproduces the original displacement reference, so the monitor's
+    /// future rebuild schedule — and with it every counter — continues
+    /// bitwise as if the run had never stopped. Under `Nodes(n)` the rank
+    /// set is re-homed at the epoch positions too, restoring the frozen
+    /// deferred-migration assignment the cached queues were filled under.
+    pub fn rebuild_match_cache_at(&mut self, sys: &System, positions: &[FxVec3]) {
+        assert_eq!(
+            positions.len(),
+            sys.n_atoms(),
+            "match-cache epoch has wrong atom count"
+        );
+        match self.decomposition {
+            Decomposition::SingleRank => {
+                let mut st = self.single.take().expect("single-rank tile state");
+                self.rebuild_single_cache(sys, positions, &mut st);
+                self.single = Some(st);
+            }
+            Decomposition::Nodes(_) => {
+                let ref_state = FixedState {
+                    positions: positions.to_vec(),
+                    velocities: Vec::new(),
+                };
+                // Restore-time metering is discarded: the caller overwrites
+                // the counters from the snapshot afterwards.
+                let mut sink = ExchangeCounters::default();
+                {
+                    let rs = self.ranks.as_mut().expect("rank set under Nodes");
+                    rs.prepare(&ref_state, &mut sink);
+                }
+                {
+                    let ForcePipeline {
+                        node_tiles, ranks, ..
+                    } = self;
+                    let rs = ranks.as_ref().expect("rank set under Nodes");
+                    let charge = &sys.topology.charge;
+                    node_tiles.rebuild(
+                        (0..rs.grid.node_count()).map(|b| rs.atoms_in_box(b)),
+                        |a| {
+                            let p = &ref_state.positions[a as usize].0;
+                            ([p[0].raw(), p[1].raw(), p[2].raw()], charge[a as usize])
+                        },
+                    );
+                }
+                let mut scratch = self.take_scratch(sys.n_atoms());
+                {
+                    let this = &*self;
+                    let rs = this.ranks.as_ref().expect("rank set under Nodes");
+                    for (r, buf) in scratch.iter_mut().enumerate() {
+                        this.fill_rank_queue(sys, rs, r, &mut buf.queue);
+                    }
+                }
+                self.scratch = scratch;
+            }
+        }
+        self.cache.note_rebuild(positions);
+    }
+
+    /// Refill one rank's persistent match queue from the shared node tiles
+    /// (the rebuild arm of [`Self::rank_pairs_batched`], span-free so
+    /// checkpoint restore can replay the fill deterministically on the
+    /// trunk).
+    fn fill_rank_queue(&self, sys: &System, rs: &RankSet, r: usize, queue: &mut BatchQueue) {
+        let rank = &rs.ranks[r];
+        queue.begin();
         for tb in &rank.tower {
             let ca = rs.grid.index(*tb);
             let ta = self.node_tiles.tile(ca);
             if ta.is_empty() {
                 continue;
             }
+            let sa0 = self.node_tiles.tile_start(ca) as u32;
             let ha = rs.grid.coord(ca);
             for pb in &rank.plate {
                 let cb = rs.grid.index(*pb);
                 if rs.nt.node_for_pair(ha, rs.grid.coord(cb)) != rank.node {
                     continue;
                 }
-                self.match_tile_pair(sys, ta, self.node_tiles.tile(cb), ca == cb, &mut buf.queue);
+                self.match_tile_pair(
+                    sys,
+                    ta,
+                    self.node_tiles.tile(cb),
+                    ca == cb,
+                    sa0,
+                    self.node_tiles.tile_start(cb) as u32,
+                    queue,
+                );
             }
-        }
-        if self.trace.is_on() {
-            buf.lane.push(Phase::Match, t0, self.trace.now_ns());
-        }
-        let t0 = self.trace.now_ns();
-        self.evaluate_batches(&buf.queue, &mut buf.forces);
-        if self.trace.is_on() {
-            buf.lane.push(Phase::Evaluate, t0, self.trace.now_ns());
         }
     }
 
@@ -1044,34 +1384,9 @@ impl ForcePipeline {
     }
 
     /// This rank's statically assigned correction pairs, streamed through
-    /// the batched correction kernel.
-    fn rank_corrections(
-        &self,
-        sys: &System,
-        state: &FixedState,
-        rs: &RankSet,
-        r: usize,
-        out: &mut RawForces,
-    ) {
-        let rank = &rs.ranks[r];
-        let excl = sys.topology.exclusions.excluded_pairs();
-        let p14 = sys.topology.exclusions.pairs_14();
-        let s14 = 1.0 - self.policy.elec_14;
-        self.correction_stream_into(
-            sys,
-            state,
-            rank.excl
-                .iter()
-                .map(|&k| {
-                    let (i, j) = excl[k as usize];
-                    (i, j, 1.0)
-                })
-                .chain(rank.pair14.iter().map(|&k| {
-                    let (i, j) = p14[k as usize];
-                    (i, j, s14)
-                })),
-            out,
-        );
+    /// the batched correction kernel from the rank's packed static stream.
+    fn rank_corrections(&self, state: &FixedState, r: usize, out: &mut RawForces) {
+        self.correction_stream_into(state, &self.corr_rank[r], out);
     }
 
     /// Quantize an f64 force onto the Q24 grid and accumulate.
@@ -1120,31 +1435,25 @@ impl ForcePipeline {
             .wrapping_add(rne_f64(u * (1u64 << ENERGY_FRAC) as f64) as i64);
     }
 
-    /// Stream correction pairs (atom ids + electrostatic scale) through
-    /// the batched correction kernel in 8-wide bundles — the flexible
-    /// subsystem's analogue of the HTIS match batch. Pairs with zero
-    /// scaled charge product are dropped before lane fill, exactly like
-    /// the scalar reference's early return; per-lane arithmetic is
-    /// bitwise identical to [`Self::correction_pair_into`].
+    /// Stream correction pairs (atom ids + precomputed charge product)
+    /// through the batched correction kernel in 8-wide bundles — the
+    /// flexible subsystem's analogue of the HTIS match batch. The packed
+    /// streams were filtered of zero charge products at construction,
+    /// exactly like the scalar reference's early return; per-lane
+    /// arithmetic is bitwise identical to [`Self::correction_pair_into`].
     fn correction_stream_into(
         &self,
-        sys: &System,
         state: &FixedState,
-        pairs: impl Iterator<Item = (u32, u32, f64)>,
+        pairs: &[(u32, u32, f64)],
         out: &mut RawForces,
     ) {
-        let top = &sys.topology;
         let ds = 1.0 / (1i64 << 20) as f64;
         let mut qqs = [0.0f64; MATCH_WIDTH];
         let mut r2s = [0.0f64; MATCH_WIDTH];
         let mut ij = [(0u32, 0u32); MATCH_WIDTH];
         let mut dd = [[0i64; 3]; MATCH_WIDTH];
         let mut fill = 0usize;
-        for (i, j, scale) in pairs {
-            let qq = top.charge[i as usize] * top.charge[j as usize] * scale;
-            if qq == 0.0 {
-                continue;
-            }
+        for &(i, j, qq) in pairs {
             let d = state.delta_q20(self.half_edge_q20, i as usize, j as usize);
             qqs[fill] = qq;
             r2s[fill] = (d[0] as f64 * ds).powi(2)
@@ -1269,19 +1578,8 @@ impl ForcePipeline {
 
     /// Correction forces (excluded and 1-4 pairs), streamed through the
     /// batched correction kernel on the calling thread.
-    pub fn corrections(&self, sys: &System, state: &FixedState, out: &mut RawForces) {
-        let top = &sys.topology;
-        let s14 = 1.0 - self.policy.elec_14;
-        self.correction_stream_into(
-            sys,
-            state,
-            top.exclusions
-                .excluded_pairs()
-                .iter()
-                .map(|&(i, j)| (i, j, 1.0))
-                .chain(top.exclusions.pairs_14().iter().map(|&(i, j)| (i, j, s14))),
-            out,
-        );
+    pub fn corrections(&self, state: &FixedState, out: &mut RawForces) {
+        self.correction_stream_into(state, &self.corr_all, out);
     }
 
     /// Long-range (mesh) forces via the fixed-point GSE pipeline, evaluated
@@ -1395,7 +1693,7 @@ mod tests {
         let mut serial = RawForces::zeroed(sys.n_atoms());
         let mut reference = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         reference.short_range(&sys, &state, &mut serial);
-        reference.corrections(&sys, &state, &mut serial);
+        reference.corrections(&state, &mut serial);
         reference.reciprocal(&sys, &state, &mut serial);
 
         let mut pipe = ForcePipeline::new(&sys, Decomposition::Nodes(8), 2);
@@ -1444,7 +1742,7 @@ mod tests {
         for out in [&mut a, &mut b] {
             pipe.range_limited(&sys, &state, out);
             pipe.bonded(&sys, &state, out);
-            pipe.corrections(&sys, &state, out);
+            pipe.corrections(&state, out);
             pipe.reciprocal(&sys, &state, out);
         }
         assert_eq!(a, b);
@@ -1459,7 +1757,7 @@ mod tests {
         let mut pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
         let mut out = RawForces::zeroed(sys.n_atoms());
         pipe.range_limited(&sys, &state, &mut out);
-        pipe.corrections(&sys, &state, &mut out);
+        pipe.corrections(&state, &mut out);
         let mut net = [0i64; 3];
         for f in &out.f {
             for k in 0..3 {
@@ -1563,7 +1861,7 @@ mod tests {
         let pipe = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
 
         let mut batched = RawForces::zeroed(sys.n_atoms());
-        pipe.corrections(&sys, &state, &mut batched);
+        pipe.corrections(&state, &mut batched);
 
         let mut scalar = RawForces::zeroed(sys.n_atoms());
         let top = &sys.topology;
@@ -1614,11 +1912,24 @@ mod batched_oracle_props {
     //! scalar oracle's pair *set* and raw forces *bitwise*, across the
     //! single-rank path and `Nodes {1, 8, 64}`.
     use super::*;
+    use anton_fixpoint::Fx32;
     use anton_forcefield::water::TIP3P;
     use anton_geometry::{CellGrid, PeriodicBox};
     use anton_systems::spec::RunParams;
     use anton_systems::waterbox::pure_water_topology;
     use proptest::prelude::*;
+
+    fn water_system(n: usize, seed: u64) -> System {
+        let pbox = PeriodicBox::cubic(18.0);
+        let (top, positions) = pure_water_topology(&pbox, &TIP3P, n, seed);
+        System {
+            name: "w".into(),
+            pbox,
+            topology: top,
+            positions,
+            params: RunParams::paper(7.5, 16),
+        }
+    }
 
     fn state_of(sys: &System) -> FixedState {
         FixedState::from_f64(&sys.pbox, &sys.positions, &vec![Vec3::ZERO; sys.n_atoms()])
@@ -1639,16 +1950,52 @@ mod batched_oracle_props {
         pairs
     }
 
-    /// The pair set the batched match stage actually queued, normalized.
-    /// Valid right after a `range_limited` call (queues hold the last
-    /// evaluation's batches).
+    /// The *live* pair set the batched evaluator dispatched on the last
+    /// `range_limited` call: queued (padded-radius) lanes filtered by the
+    /// same exact `r² ≤ rc²` ladder the evaluator masks with, against the
+    /// tiles' current (refreshed) positions.
     fn batched_pairs(pipe: &ForcePipeline) -> Vec<(u32, u32)> {
+        let he = [
+            pipe.half_edge_q20[0].raw(),
+            pipe.half_edge_q20[1].raw(),
+            pipe.half_edge_q20[2].raw(),
+        ];
+        let live = |q: &BatchQueue, tiles: &PosTiles| -> Vec<(u32, u32)> {
+            let mut v = Vec::new();
+            for (batch, meta) in q.iter() {
+                for lane in 0..MATCH_WIDTH {
+                    if batch.mask & (1u8 << lane) == 0 {
+                        continue;
+                    }
+                    let pa = tiles.raw_at(meta.si[lane]);
+                    let pb = tiles.raw_at(meta.sj[lane]);
+                    let dx = pa[0].wrapping_sub(pb[0]) as i64;
+                    let dy = pa[1].wrapping_sub(pb[1]) as i64;
+                    let dz = pa[2].wrapping_sub(pb[2]) as i64;
+                    let d = [
+                        anton_fixpoint::rne_shr_i128(dx as i128 * he[0] as i128, 31),
+                        anton_fixpoint::rne_shr_i128(dy as i128 * he[1] as i128, 31),
+                        anton_fixpoint::rne_shr_i128(dz as i128 * he[2] as i128, 31),
+                    ];
+                    let sum: i128 = d[0] as i128 * d[0] as i128
+                        + d[1] as i128 * d[1] as i128
+                        + d[2] as i128 * d[2] as i128;
+                    let r2 = anton_fixpoint::rne_shr_i128(sum, 20);
+                    if r2 > pipe.rc2_q20 || r2 == 0 {
+                        continue;
+                    }
+                    let (i, j) = (meta.i[lane], meta.j[lane]);
+                    v.push((i.min(j), i.max(j)));
+                }
+            }
+            v
+        };
         let mut pairs: Vec<(u32, u32)> = match &pipe.single {
-            Some(st) => st.queue.matched_pairs(),
+            Some(st) => live(&st.queue, &st.tiles),
             None => pipe
                 .scratch
                 .iter()
-                .flat_map(|s| s.queue.matched_pairs())
+                .flat_map(|s| live(&s.queue, &pipe.node_tiles))
                 .collect(),
         };
         pairs.sort_unstable();
@@ -1726,6 +2073,94 @@ mod batched_oracle_props {
                 assert_eq!(got, scalar, "{nodes}-node scalar oracle ({ctx})");
             }
         }
+    }
+
+    /// The tentpole property of the persistent match cache: a pipeline
+    /// reusing its cached tile/batch structure across a drifting
+    /// trajectory produces bitwise-identical raw forces and identical
+    /// *live* pair sets to a pipeline forced to rebuild from scratch
+    /// every step — on every decomposition, straddling several
+    /// displacement-triggered rebuild events — and the rebuild schedule
+    /// itself is identical across decompositions (it is a pure function
+    /// of the trajectory).
+    #[test]
+    fn cached_pipeline_matches_fresh_rebuild_every_step() {
+        let sys = water_system(100, 29);
+        let n = sys.n_atoms();
+        let mut state = state_of(&sys);
+
+        // The fresh oracle is invalidated before every evaluation, so it
+        // re-matches at the current positions each step.
+        let mut fresh = ForcePipeline::new(&sys, Decomposition::SingleRank, 1);
+        let decomps = [
+            Decomposition::SingleRank,
+            Decomposition::Nodes(1),
+            Decomposition::Nodes(8),
+            Decomposition::Nodes(64),
+        ];
+        let mut cached: Vec<ForcePipeline> = decomps
+            .iter()
+            .map(|&d| ForcePipeline::new(&sys, d, 1))
+            .collect();
+
+        // Constant per-atom drift (splitmix-style hash): each axis moves
+        // ~0.03–0.05 Å per step, so the monitor (threshold ~0.495 Å of
+        // accumulated displacement) trips every ~6–8 steps.
+        let drift = |atom: usize, axis: usize| -> Fx32 {
+            let mut h = (atom as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((axis as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+            h ^= h >> 31;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 27;
+            let mag = 7_000_000 + (h % 5_000_000) as i32;
+            Fx32(if h >> 63 == 1 { -mag } else { mag })
+        };
+
+        let mut schedules: Vec<Vec<bool>> = vec![Vec::new(); cached.len()];
+        for step in 0..20u32 {
+            if step > 0 {
+                for (a, p) in state.positions.iter_mut().enumerate() {
+                    for k in 0..3 {
+                        p.0[k] = p.0[k].wrapping_add(drift(a, k));
+                    }
+                }
+            }
+            fresh.invalidate_match_cache();
+            let mut want = RawForces::zeroed(n);
+            fresh.range_limited(&sys, &state, &mut want);
+            let want_pairs = batched_pairs(&fresh);
+            for (c, pipe) in cached.iter_mut().enumerate() {
+                let before = pipe.counters.rebuild_steps;
+                let mut got = RawForces::zeroed(n);
+                pipe.range_limited(&sys, &state, &mut got);
+                assert_eq!(got, want, "step {step}, {:?}: cached forces", decomps[c]);
+                assert_eq!(
+                    batched_pairs(pipe),
+                    want_pairs,
+                    "step {step}, {:?}: live pair set",
+                    decomps[c]
+                );
+                schedules[c].push(pipe.counters.rebuild_steps > before);
+            }
+        }
+        for (c, s) in schedules.iter().enumerate().skip(1) {
+            assert_eq!(
+                s, &schedules[0],
+                "{:?}: rebuild schedule diverged from SingleRank",
+                decomps[c]
+            );
+        }
+        let rebuilds = schedules[0].iter().filter(|&&r| r).count();
+        let reuses = schedules[0].len() - rebuilds;
+        assert!(
+            rebuilds >= 3,
+            "want the initial build plus ≥2 displacement-triggered rebuilds, got {rebuilds}"
+        );
+        assert!(
+            reuses >= 2,
+            "want cache-reuse steps between rebuilds, got {reuses}"
+        );
     }
 }
 

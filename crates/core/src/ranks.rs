@@ -192,6 +192,15 @@ impl RankSet {
         self.plan.record_step(&self.atoms_per_box, c);
     }
 
+    /// Meter one exchange step over the *frozen* home assignment: between
+    /// pair-list rebuilds atoms keep the boxes [`Self::prepare`] last gave
+    /// them (deferred migration, paper §3.2.4), so the per-step position
+    /// import / force reduction traffic is priced against the unchanged
+    /// occupancy without re-homing anything.
+    pub fn meter_step(&self, c: &mut ExchangeCounters) {
+        self.plan.record_step(&self.atoms_per_box, c);
+    }
+
     /// Whether [`Self::prepare`] has run for a state of `n_atoms` atoms —
     /// i.e. the home-box index is populated and `atoms_in_box` partitions
     /// the atom set.

@@ -117,6 +117,25 @@ fn d5_flags_arrival_order_batch_merge() {
 }
 
 #[test]
+fn d5_flags_cache_epoch_channel_merge() {
+    // The match-cache rebuild decision folded out of a channel drain: the
+    // epoch becomes a function of thread completion order, so the cached
+    // pair list (and everything downstream of it) stops being a pure
+    // function of the trajectory — D5 fires on the fold.
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d5_cache_epoch_merge.rs");
+    assert_eq!(hits, [("D5".into(), 8)]);
+}
+
+#[test]
+fn d5_accepts_slab_ordered_cache_epoch_merge() {
+    // The sanctioned monitor shape: per-slab maxima in disjoint slots,
+    // folded serially in slab order — the rebuild schedule is trajectory-
+    // determined and identical on every decomposition.
+    let hits = rules_hit("crates/core/src/good.rs", "pass_d5_cache_epoch_merge.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
 fn trace_crate_is_on_the_simulation_path() {
     // The trace crate joined DET_CRATES: an unsanctioned wall-clock read
     // there is a D4 violation like anywhere else in the deterministic core.
@@ -352,6 +371,24 @@ fn d7_accepts_sanctioned_batch_kernel_shape() {
     // The shape the real match stage uses: raw bits on their own binding,
     // wrapping ops, right shifts, masks and comparisons only.
     let hits = rules_hit("crates/core/src/good.rs", "pass_d7_batch_kernel.rs");
+    assert_eq!(hits, []);
+}
+
+#[test]
+fn d7_flags_raw_q20_displacement_monitor() {
+    // A displacement monitor doing bare `- * <<` on raw Q20 components:
+    // the subtraction, the doubled threshold, and the shift all fire; the
+    // epoch-equality comparison stays silent.
+    let hits = rules_hit("crates/core/src/bad.rs", "fail_d7_q20_displacement.rs");
+    let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, ["D7", "D7", "D7"], "hits: {hits:?}");
+}
+
+#[test]
+fn d7_accepts_wrapped_displacement_monitor() {
+    // The real monitor's shape: wrapping_sub displacements, the doubled
+    // threshold behind an audited allow, raw reads only in comparisons.
+    let hits = rules_hit("crates/core/src/good.rs", "pass_d7_q20_displacement.rs");
     assert_eq!(hits, []);
 }
 

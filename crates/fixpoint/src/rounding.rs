@@ -23,11 +23,13 @@ pub fn rne_shr_i64(x: i64, n: u32) -> i64 {
     let q = x >> n; // floor division by 2^n
     let rem = x - (q << n); // in [0, 2^n)
     let half = 1i64 << (n - 1);
-    if rem > half || (rem == half && (q & 1) == 1) {
-        q + 1
-    } else {
-        q
-    }
+    // Branchless nearest/even bump: +1 when rem > half, or on an exact tie
+    // when q is odd. This sits 6x per table lookup in the PPIP inner loop and
+    // the tie/above-half predicates are data-dependent coin flips there, so a
+    // conditional form mispredicts constantly; the arithmetic form is the
+    // same value for every (x, n).
+    let bump = i64::from(rem > half) | (i64::from(rem == half) & q & 1);
+    q + bump
 }
 
 /// Arithmetic right shift of a 128-bit intermediate with round-to-nearest/even,
@@ -48,11 +50,9 @@ pub fn rne_shr_i128(x: i128, n: u32) -> i64 {
     let q = x >> n;
     let rem = x - (q << n);
     let half = 1i128 << (n - 1);
-    let rounded = if rem > half || (rem == half && (q & 1) == 1) {
-        q + 1
-    } else {
-        q
-    };
+    // Same branchless nearest/even bump as `rne_shr_i64` (see there).
+    let bump = i128::from(rem > half) | (i128::from(rem == half) & q & 1);
+    let rounded = q + bump;
     debug_assert!(
         rounded >= i64::MIN as i128 && rounded <= i64::MAX as i128,
         "rne_shr_i128 overflow: {rounded}"
@@ -65,23 +65,83 @@ pub fn rne_shr_i128(x: i128, n: u32) -> i64 {
 /// Used only at the boundary between floating-point setup code and the
 /// fixed-point simulation state; never inside the deterministic core.
 // This *is* the float quantization boundary, so the float-ban lints do not
-// apply inside it; the `r as i64` parity probe is exact for any x where the
-// tie adjustment matters (|x| < 2^52).
-#[allow(clippy::float_arithmetic, clippy::cast_possible_truncation)]
+// apply inside it; adding 2^52 to a non-negative x < 2^52 forces the
+// fraction bits out of the mantissa, and IEEE's default round-to-nearest/
+// even mode (the only mode Rust exposes) does the tie-breaking in hardware.
+// Two additions replace the round()/trunc() libm calls this sat on before —
+// it is the single hottest scalar in the PPIP evaluate path — and
+// `rne_f64_reference` in the tests pins the substitution bit-for-bit.
+// The negated comparison is load-bearing: NaN fails `<`, so the `!` routes
+// NaN (and ±inf) to the identity arm, exactly as round()/trunc() behaved.
+#[allow(clippy::float_arithmetic, clippy::neg_cmp_op_on_partial_ord)]
 #[inline]
 pub fn rne_f64(x: f64) -> f64 {
-    // f64::round() rounds half away from zero; adjust exact-half cases.
-    let r = x.round();
-    if (x - x.trunc()).abs() == 0.5 && (r as i64) % 2 != 0 {
-        r - (r - x).signum()
+    const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
+    if !(x.abs() < MAGIC) {
+        return x; // already integral (or NaN/±inf): rounding is the identity
+    }
+    // `is_sign_positive` (not `>= 0.0`) so -0.0 keeps its sign bit, exactly
+    // as `f64::round` preserves it.
+    if x.is_sign_positive() {
+        (x + MAGIC) - MAGIC
+    } else if x == -0.5 {
+        // The one negative tie that crosses zero: the reference computed
+        // it as `-1.0 + 1.0`, i.e. *positive* zero, unlike every other
+        // value in (-0.5, -0.0] which keeps its sign bit.
+        0.0
     } else {
-        r
+        -((-x + MAGIC) - MAGIC)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The retired round()/trunc() implementation, kept as the oracle for
+    /// the magic-number fast path.
+    #[allow(clippy::float_arithmetic, clippy::cast_possible_truncation)]
+    fn rne_f64_reference(x: f64) -> f64 {
+        let r = x.round();
+        if (x - x.trunc()).abs() == 0.5 && (r as i64) % 2 != 0 {
+            r - (r - x).signum()
+        } else {
+            r
+        }
+    }
+
+    /// The fast rne_f64 is bit-identical to the reference on a dense sweep
+    /// of magnitudes (including exact ties, signed zeros, and values past
+    /// 2^52 where rounding is the identity).
+    #[test]
+    fn rne_f64_matches_reference_bitwise() {
+        let mut probes: Vec<f64> = vec![0.0, -0.0, 0.5, -0.5, 1.5, -1.5, 2.5, -2.5];
+        for e in -8..60 {
+            let base = (2.0f64).powi(e);
+            for frac in [0.0, 0.25, 0.5, 0.75, 0.999_999, 1.0 / 3.0] {
+                probes.push(base + frac);
+                probes.push(-(base + frac));
+                probes.push(base * (1.0 + frac));
+                probes.push(-(base * (1.0 + frac)));
+            }
+        }
+        // A deterministic LCG sweep of odd magnitudes.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for _ in 0..20_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (s >> 11) as f64 / (1u64 << 20) as f64 - 4.0e12;
+            probes.push(x);
+        }
+        for &x in &probes {
+            assert_eq!(
+                rne_f64(x).to_bits(),
+                rne_f64_reference(x).to_bits(),
+                "rne_f64({x:e}) diverged from the reference"
+            );
+        }
+    }
 
     #[test]
     fn rne_shr_basic() {

@@ -79,10 +79,37 @@ impl PosTiles {
         }
     }
 
+    /// Overwrite every slot's coordinates from `fetch`, keeping the tile
+    /// membership, slot order, charges and segmentation untouched. This is
+    /// the per-step refresh of a persistent match cache: atoms keep their
+    /// slots between pair-list rebuilds, only their raw fraction bits move.
+    pub fn refresh_positions(&mut self, mut fetch: impl FnMut(u32) -> [i32; 3]) {
+        for (slot, &p) in self.atom.iter().enumerate() {
+            let c = fetch(p);
+            self.x[slot] = c[0];
+            self.y[slot] = c[1];
+            self.z[slot] = c[2];
+        }
+    }
+
     /// Number of tiles in the current layout.
     #[inline]
     pub fn tile_count(&self) -> usize {
         self.starts.len().saturating_sub(1)
+    }
+
+    /// First flat slot of tile `t` (slot indices returned here address the
+    /// whole pool, e.g. via [`Self::raw_at`]).
+    #[inline]
+    pub fn tile_start(&self, t: usize) -> usize {
+        self.starts[t] as usize
+    }
+
+    /// Raw coordinates of one flat slot.
+    #[inline]
+    pub fn raw_at(&self, slot: u32) -> [i32; 3] {
+        let s = slot as usize;
+        [self.x[s], self.y[s], self.z[s]]
     }
 
     /// Total slots across all tiles.
@@ -132,6 +159,25 @@ mod tests {
         assert_eq!(t0.q, &[1.0, 0.0]);
         assert!(tiles.tile(1).is_empty());
         assert_eq!(tiles.tile(2).atom, &[1]);
+    }
+
+    #[test]
+    fn refresh_updates_coordinates_and_preserves_layout() {
+        let mut tiles = PosTiles::default();
+        let members: [&[u32]; 3] = [&[2, 0], &[], &[1]];
+        tiles.rebuild(members.into_iter(), |p| {
+            ([p as i32, -(p as i32), p as i32 * 10], p as f64 * 0.5)
+        });
+        tiles.refresh_positions(|p| [p as i32 + 100, p as i32 - 100, 7]);
+        let t0 = tiles.tile(0);
+        assert_eq!(t0.atom, &[2, 0], "membership untouched");
+        assert_eq!(t0.q, &[1.0, 0.0], "charges untouched");
+        assert_eq!(t0.x, &[102, 100]);
+        assert_eq!(t0.y, &[-98, -100]);
+        assert_eq!(t0.z, &[7, 7]);
+        assert_eq!(tiles.tile_start(2), 2);
+        assert_eq!(tiles.raw_at(2), [101, -99, 7]);
+        assert_eq!(tiles.tile_count(), 3, "segmentation untouched");
     }
 
     #[test]

@@ -100,8 +100,15 @@ pub struct ExchangeCounters {
     /// Pairs that survived the exact cutoff test and filled a batch lane.
     pub match_pairs: u64,
     /// Candidate pairs streamed through the match stage (tile-pair lanes
-    /// examined, before the cutoff mask).
+    /// examined, before the cutoff mask). Only rebuild steps stream
+    /// candidates; reuse steps replay the cached batches.
     pub match_candidates: u64,
+    /// Range-limited evaluations that rebuilt the match cache (tiling,
+    /// tile SoA, pair matching from scratch).
+    pub rebuild_steps: u64,
+    /// Range-limited evaluations that reused the cached batch structure,
+    /// refreshing only tile positions.
+    pub reuse_steps: u64,
 }
 
 impl ExchangeCounters {
@@ -158,7 +165,7 @@ impl ExchangeCounters {
     }
 
     /// Number of u64 words in the [`Self::to_words`] serialization.
-    pub const WORDS: usize = 16;
+    pub const WORDS: usize = 18;
 
     /// Serialize to a fixed word array for the checkpoint payload. The
     /// word order is the struct declaration order and is part of the
@@ -182,6 +189,8 @@ impl ExchangeCounters {
             self.match_batches,
             self.match_pairs,
             self.match_candidates,
+            self.rebuild_steps,
+            self.reuse_steps,
         ]
     }
 
@@ -206,6 +215,8 @@ impl ExchangeCounters {
             match_batches: w[13],
             match_pairs: w[14],
             match_candidates: w[15],
+            rebuild_steps: w[16],
+            reuse_steps: w[17],
         })
     }
 
@@ -239,6 +250,8 @@ impl ExchangeCounters {
             match_candidates: self
                 .match_candidates
                 .saturating_sub(earlier.match_candidates),
+            rebuild_steps: self.rebuild_steps.saturating_sub(earlier.rebuild_steps),
+            reuse_steps: self.reuse_steps.saturating_sub(earlier.reuse_steps),
         }
     }
 
@@ -658,18 +671,20 @@ mod tests {
             match_batches: 14,
             match_pairs: 15,
             match_candidates: 16,
+            rebuild_steps: 17,
+            reuse_steps: 18,
         };
         let words = c.to_words();
         // Every field is distinct, so a permutation or a dropped field
         // cannot round-trip unnoticed.
         assert_eq!(
             words,
-            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18]
         );
         let back = ExchangeCounters::from_words(&words).unwrap();
         assert_eq!(back.to_words(), words);
-        assert!(ExchangeCounters::from_words(&words[..15]).is_none());
-        assert!(ExchangeCounters::from_words(&[0; 17]).is_none());
+        assert!(ExchangeCounters::from_words(&words[..17]).is_none());
+        assert!(ExchangeCounters::from_words(&[0; 19]).is_none());
     }
 
     #[test]

@@ -48,6 +48,27 @@ impl PairBatch {
     };
 }
 
+/// One segment's worth of all six kernels, packed contiguously.
+///
+/// The six `FunctionTable`s share one `TableSpec`, so segment `idx` means
+/// the same u-interval in each; fusing their coefficients puts everything
+/// [`Ppip::pair`] needs for a lane behind a single data-dependent address
+/// instead of six pointer-chases into six separate `Vec<Segment>`s (which
+/// is where the evaluator spent most of its time — the per-pair segment
+/// index is effectively random, so each chase was a cache miss).
+///
+/// `scale[k]` is the exact block-floating-point decode factor
+/// `2^(exponent_k − (mantissa_bits − 1))` of table `k`'s segment
+/// (see [`crate::tables::exp2i`]); multiplying the integer Horner result by
+/// it is bit-identical to the `(mantissa, exponent)` decode it replaces.
+#[derive(Clone, Debug)]
+struct FusedSeg {
+    /// `coeffs[k]` = cubic coefficients of table `k` on this segment,
+    /// tables in the order f_elec, f12, f6, e_elec, e12, e6.
+    coeffs: [[i32; 4]; 6],
+    scale: [f64; 6],
+}
+
 /// A PPIP bound to an Ewald splitting parameter and cutoff.
 #[derive(Clone, Debug)]
 pub struct Ppip {
@@ -69,6 +90,8 @@ pub struct Ppip {
     pub u_clamp_elec: f64,
     pub u_clamp_vdw: f64,
     inv_r2max_q31: f64,
+    /// Segment-fused view of the six tables (see [`FusedSeg`]).
+    fused: Vec<FusedSeg>,
 }
 
 impl Ppip {
@@ -116,20 +139,52 @@ impl Ppip {
             1.0 / (r2 * r2 * r2)
         };
 
+        let f_elec = FunctionTable::fit(f_elec_fn, spec.clone());
+        let f12 = FunctionTable::fit(f12_fn, spec.clone());
+        let f6 = FunctionTable::fit(f6_fn, spec.clone());
+        let e_elec = FunctionTable::fit(e_elec_fn, spec.clone());
+        let e12 = FunctionTable::fit(e12_fn, spec.clone());
+        let e6 = FunctionTable::fit(e6_fn, spec);
+        let fused = Self::fuse([&f_elec, &f12, &f6, &e_elec, &e12, &e6]);
+
         Ppip {
             r2_max,
             beta,
             cutoff,
-            f_elec: FunctionTable::fit(f_elec_fn, spec.clone()),
-            f12: FunctionTable::fit(f12_fn, spec.clone()),
-            f6: FunctionTable::fit(f6_fn, spec.clone()),
-            e_elec: FunctionTable::fit(e_elec_fn, spec.clone()),
-            e12: FunctionTable::fit(e12_fn, spec.clone()),
-            e6: FunctionTable::fit(e6_fn, spec),
+            f_elec,
+            f12,
+            f6,
+            e_elec,
+            e12,
+            e6,
             u_clamp_elec,
             u_clamp_vdw,
             inv_r2max_q31: (1i64 << 31) as f64 / (r2_max * (1i64 << R2_FRAC) as f64),
+            fused,
         }
+    }
+
+    /// Pack the six per-table segment arrays into one segment-major array.
+    /// Pure layout change: the coefficients and decode scales are exactly
+    /// the values the separate tables would have produced.
+    fn fuse(tables: [&FunctionTable; 6]) -> Vec<FusedSeg> {
+        let n = tables[0].segments.len();
+        for t in &tables {
+            assert_eq!(t.segments.len(), n, "PPIP tables must share one spec");
+        }
+        (0..n)
+            .map(|idx| {
+                let mut coeffs = [[0i32; 4]; 6];
+                let mut scale = [0.0f64; 6];
+                for (k, t) in tables.iter().enumerate() {
+                    let seg = &t.segments[idx];
+                    coeffs[k] = seg.coeffs;
+                    scale[k] =
+                        crate::tables::exp2i(seg.exponent - (t.spec.mantissa_bits as i32 - 1));
+                }
+                FusedSeg { coeffs, scale }
+            })
+            .collect()
     }
 
     /// Convert a Q20 r² raw value to the Q31 table coordinate
@@ -148,14 +203,24 @@ impl Ppip {
     pub fn pair(&self, r2_q20: i64, qq: f64, lj_a: f64, lj_b: f64) -> (f64, f64) {
         let u = self.u_q31(r2_q20).clamp(0, (1i64 << 31) - 1);
         let (idx, t_q31) = self.f_elec.locate_q31(u);
-        let fixed = |table: &FunctionTable| {
-            let (m, e) = table.eval_at(idx, t_q31);
-            m as f64 * (2.0f64).powi(e)
-        };
-        let f =
-            COULOMB * qq * fixed(&self.f_elec) + lj_a * fixed(&self.f12) - lj_b * fixed(&self.f6);
-        let e =
-            COULOMB * qq * fixed(&self.e_elec) + lj_a * fixed(&self.e12) - lj_b * fixed(&self.e6);
+        // Evaluate all six kernels out of the fused segment record: same
+        // integer Horner and block-floating-point decode as
+        // `FunctionTable::eval_at` + `exp2i`, but one load stream instead of
+        // six scattered `segments[idx]` chases (`pair_tracks_tables` pins
+        // the equivalence bit-for-bit).
+        let t = t_q31.clamp(0, 1i64 << 31);
+        let seg = &self.fused[idx];
+        let mut v = [0.0f64; 6];
+        for (k, val) in v.iter_mut().enumerate() {
+            let c = &seg.coeffs[k];
+            let mut acc = c[3] as i64;
+            for j in (0..3).rev() {
+                acc = anton_fixpoint::rounding::rne_shr_i64(acc * t, 31) + c[j] as i64;
+            }
+            *val = acc as f64 * seg.scale[k];
+        }
+        let f = COULOMB * qq * v[0] + lj_a * v[1] - lj_b * v[2];
+        let e = COULOMB * qq * v[3] + lj_a * v[4] - lj_b * v[5];
         (f, e)
     }
 
@@ -241,6 +306,45 @@ mod tests {
             assert!((e_t - e_x).abs() < 1e-3 * e_x.abs().max(1.0), "r={r}");
         }
         assert!(worst < 1e-4, "worst relative force deviation {worst:e}");
+    }
+
+    /// The fused-segment evaluation in `pair` is bit-identical to composing
+    /// the six standalone tables through `locate_q31` + `eval_at` + `exp2i`
+    /// (the path it replaced), over a dense r² sweep including the clamp
+    /// regions and both domain endpoints.
+    #[test]
+    fn pair_tracks_tables() {
+        let ppip = Ppip::build(0.35, 7.5);
+        let r2_max_q20 = (ppip.r2_max * (1i64 << 20) as f64) as i64;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        let mut probes: Vec<i64> = vec![0, 1, r2_max_q20 - 1, r2_max_q20, r2_max_q20 + 7];
+        for _ in 0..20_000 {
+            probes.push(rng.gen_range(0..r2_max_q20 + 4096));
+        }
+        for r2_q20 in probes {
+            let (qq, lj_a, lj_b) = (0.41, 6.0e5, 530.0);
+            let got = ppip.pair(r2_q20, qq, lj_a, lj_b);
+            let u = ppip.u_q31(r2_q20).clamp(0, (1i64 << 31) - 1);
+            let (idx, t_q31) = ppip.f_elec.locate_q31(u);
+            let fixed = |table: &FunctionTable| {
+                let (m, e) = table.eval_at(idx, t_q31);
+                m as f64 * crate::tables::exp2i(e)
+            };
+            let want_f = COULOMB * qq * fixed(&ppip.f_elec) + lj_a * fixed(&ppip.f12)
+                - lj_b * fixed(&ppip.f6);
+            let want_e = COULOMB * qq * fixed(&ppip.e_elec) + lj_a * fixed(&ppip.e12)
+                - lj_b * fixed(&ppip.e6);
+            assert_eq!(
+                got.0.to_bits(),
+                want_f.to_bits(),
+                "force at r2_q20={r2_q20}"
+            );
+            assert_eq!(
+                got.1.to_bits(),
+                want_e.to_bits(),
+                "energy at r2_q20={r2_q20}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,23 @@
 use anton_fixpoint::rounding::{rne_f64, rne_shr_i64};
 use serde::{Deserialize, Serialize};
 
+/// Exact `2^e` as an `f64`, built directly from the exponent field.
+///
+/// Bitwise identical to `(2.0f64).powi(e)` for every normal-range `e`
+/// (powers of two are exact in binary floating point), but a couple of
+/// integer ops instead of a libm-style call — this sits in the per-lane
+/// mantissa→f64 decode of the PPIP evaluate path. Exponents outside the
+/// normal range (never produced by the block-floating-point tables, whose
+/// exponents are within a few hundred of zero) fall back to `powi`.
+#[inline]
+pub fn exp2i(e: i32) -> f64 {
+    if (-1022..=1023).contains(&e) {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        (2.0f64).powi(e)
+    }
+}
+
 /// Tier layout: `(entries, domain_end)` pairs over the normalized domain
 /// `u = r²/r²_max ∈ [0, 1)`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -321,7 +338,7 @@ impl FunctionTable {
     /// Convenience: the fixed-path value as f64 (exact conversion).
     pub fn eval_fixed_f64(&self, u_q31: i64) -> f64 {
         let (m, e) = self.eval_fixed(u_q31);
-        m as f64 * (2.0f64).powi(e)
+        m as f64 * exp2i(e)
     }
 
     /// Maximum |table − f| over `samples` points in `[lo, hi)`, and the rms,
@@ -447,6 +464,20 @@ fn solve5(mut m: [[f64; 5]; 5], mut b: [f64; 5]) -> [f64; 5] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `exp2i` must be bit-for-bit `powi` everywhere, including the
+    /// subnormal/overflow fallback edges — the PPIP decode path relies on
+    /// the substitution being invisible to every checksum.
+    #[test]
+    fn exp2i_is_bitwise_powi() {
+        for e in -1100..=1100 {
+            assert_eq!(
+                exp2i(e).to_bits(),
+                (2.0f64).powi(e).to_bits(),
+                "exp2i({e}) diverged from powi"
+            );
+        }
+    }
 
     #[test]
     fn remez_fits_cubic_exactly() {

@@ -24,6 +24,13 @@ pub enum Phase {
     /// Evaluate sub-phase of the range-limited pipeline: masked batch
     /// dispatch through the PPIP table evaluator plus the force scatter.
     Evaluate,
+    /// Match-cache rebuild: re-binning atoms to cells, refilling the SoA
+    /// tiles, and re-running the padded-cutoff match from scratch (taken
+    /// only when the displacement monitor trips).
+    CacheRebuild,
+    /// Match-cache reuse: refreshing tile positions in place and replaying
+    /// the cached batch structure (the steady-state step shape).
+    CacheReuse,
     /// Trunk-side fan-out overhead: the span covers thread-pool dispatch
     /// and join around one per-rank parallel section, so the nodes=1
     /// threads>1 pool cost is measured rather than inferred.
@@ -58,12 +65,14 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical order.
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 19] = [
         Phase::Step,
         Phase::ReHome,
         Phase::RangeLimited,
         Phase::Match,
         Phase::Evaluate,
+        Phase::CacheRebuild,
+        Phase::CacheReuse,
         Phase::Dispatch,
         Phase::Bonded,
         Phase::Correction,
@@ -86,6 +95,8 @@ impl Phase {
             Phase::RangeLimited => "range_limited",
             Phase::Match => "match",
             Phase::Evaluate => "evaluate",
+            Phase::CacheRebuild => "cache_rebuild",
+            Phase::CacheReuse => "cache_reuse",
             Phase::Dispatch => "dispatch",
             Phase::Bonded => "bonded",
             Phase::Correction => "correction",
