@@ -1,0 +1,312 @@
+//! Paper-artifact table builders: deterministic CSV renderings of the
+//! Table 2 / Table 4 performance-model columns and the Figure 5–7-shaped
+//! scaling/trace results, sourced from the checked-in benchmark JSON
+//! artifacts (`results/BENCH_scaling.json`, `results/TRACE_scaling.json`).
+//!
+//! Only model-derived and counted quantities are exported — wall-clock
+//! fields (`ms_per_step`, `wall_us`, `serialize_us`) are deliberately
+//! excluded so the rendered bytes are a pure function of the committed
+//! inputs. `cargo run -p anton-bench --bin export_tables` regenerates
+//! `results/TABLE_*.csv`; CI diffs the bytes.
+
+use anton_analysis::artifacts::{micro_from_f64, Cell, Table};
+use anton_core::system_stats;
+use anton_machine::perf::dhfr_stats;
+use anton_machine::PerfModel;
+use anton_systems::{table4_system, TABLE4};
+use std::path::PathBuf;
+
+use crate::json::Json;
+
+/// The workspace `results/` directory (compile-time anchored, so binaries
+/// and tests agree regardless of the invocation directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// Table 2's Anton columns: the calibrated 512-node model's per-task
+/// breakdown for one DHFR long-range step under both electrostatics
+/// parameter sets, against the paper's measured values.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "TABLE_2",
+        "DHFR per-step task profile on 512 Anton nodes: calibrated model vs paper (us)",
+        &["setting", "task", "model_us", "paper_us"],
+    );
+    let tasks = [
+        "range_limited",
+        "fft_inverse",
+        "mesh_interp",
+        "correction",
+        "bonded",
+        "integration",
+        "total",
+    ];
+    let paper = [
+        [1.4, 24.7, 9.5, 2.5, 3.5, 1.6, 39.2],
+        [1.9, 8.9, 2.0, 2.5, 4.1, 1.6, 15.4],
+    ];
+    for (si, (setting, cutoff, mesh)) in [("9A_64", 9.0, 64usize), ("13A_32", 13.0, 32)]
+        .iter()
+        .enumerate()
+    {
+        let b = PerfModel::anton_512().breakdown(&dhfr_stats(*cutoff, *mesh));
+        let model = [
+            b.range_limited_us,
+            b.fft_us,
+            b.mesh_us,
+            b.correction_us,
+            b.bonded_us,
+            b.integration_us,
+            b.lr_step_us,
+        ];
+        for (ti, task) in tasks.iter().enumerate() {
+            t.push_row(vec![
+                Cell::text(*setting),
+                Cell::text(*task),
+                Cell::Fixed6(micro_from_f64(model[ti])),
+                Cell::Fixed6(micro_from_f64(paper[si][ti])),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 4's performance column: modeled simulation rate for the six
+/// benchmark systems at their paper parameters, next to the paper's
+/// measured rates.
+pub fn table4() -> Table {
+    let mut t = Table::new(
+        "TABLE_4",
+        "Benchmark systems: 512-node modeled rate vs paper (us/day)",
+        &[
+            "system",
+            "pdb_id",
+            "atoms",
+            "side_a",
+            "cutoff_a",
+            "mesh",
+            "model_us_per_day",
+            "paper_us_per_day",
+        ],
+    );
+    for e in &TABLE4 {
+        let sys = table4_system(e, 1);
+        let b = PerfModel::anton_512().breakdown(&system_stats(&sys));
+        t.push_row(vec![
+            Cell::text(e.name),
+            Cell::text(e.pdb_id),
+            Cell::Int(e.n_atoms as i128),
+            Cell::Fixed6(micro_from_f64(e.side)),
+            Cell::Fixed6(micro_from_f64(e.cutoff)),
+            Cell::Int(e.mesh as i128),
+            Cell::Fixed6(micro_from_f64(b.us_per_day)),
+            Cell::Fixed6(micro_from_f64(e.paper_us_per_day)),
+        ]);
+    }
+    t
+}
+
+fn want_schema(doc: &Json, want: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == want => Ok(()),
+        other => Err(format!("expected schema {want:?}, found {other:?}")),
+    }
+}
+
+fn field<'a>(row: &'a Json, key: &str) -> Result<&'a Json, String> {
+    row.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn int(row: &Json, key: &str) -> Result<i128, String> {
+    field(row, key)?
+        .as_u64()
+        .map(|v| v as i128)
+        .ok_or_else(|| format!("field {key:?} is not an integer"))
+}
+
+fn micro(row: &Json, key: &str) -> Result<i128, String> {
+    field(row, key)?
+        .as_f64()
+        .map(micro_from_f64)
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn hex64(row: &Json, key: &str) -> Result<u64, String> {
+    let s = field(row, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("field {key:?}: {e}"))
+}
+
+/// The deterministic columns of the scaling sweep (Figure 5-shaped): the
+/// modeled communication profile and the exact exchange census per
+/// (nodes, threads) point. Measured wall-clock columns are excluded.
+pub fn scaling_table(bench: &Json) -> Result<Table, String> {
+    want_schema(bench, "bench-scaling/v2")?;
+    let mut t = Table::new(
+        "TABLE_scaling",
+        "Scaling sweep, deterministic columns: modeled comm profile + exact census per decomposition",
+        &[
+            "nodes",
+            "threads",
+            "atoms",
+            "links_per_rank",
+            "kb_per_step_rank",
+            "mean_hops",
+            "modeled_comm_us",
+            "fft_messages_per_rank_lr_step",
+            "fft_kb_per_rank_lr_step",
+            "mesh_halo_kb_per_rank_lr_step",
+            "match_candidates",
+            "match_pairs",
+            "match_batches",
+            "rebuild_steps",
+            "reuse_steps",
+            "state_checksum",
+        ],
+    );
+    let atoms = int(bench, "atoms")?;
+    let rows = field(bench, "rows")?
+        .as_arr()
+        .ok_or("rows is not an array")?;
+    for row in rows {
+        t.push_row(vec![
+            Cell::Int(int(row, "nodes")?),
+            Cell::Int(int(row, "threads")?),
+            Cell::Int(atoms),
+            Cell::Int(int(row, "links_per_rank")?),
+            Cell::Fixed6(micro(row, "kb_per_step_rank")?),
+            Cell::Fixed6(micro(row, "mean_hops")?),
+            Cell::Fixed6(micro(row, "modeled_comm_us")?),
+            Cell::Fixed6(micro(row, "fft_messages_per_rank_lr_step")?),
+            Cell::Fixed6(micro(row, "fft_kb_per_rank_lr_step")?),
+            Cell::Fixed6(micro(row, "mesh_halo_kb_per_rank_lr_step")?),
+            Cell::Int(int(row, "match_candidates")?),
+            Cell::Int(int(row, "match_pairs")?),
+            Cell::Int(int(row, "match_batches")?),
+            Cell::Int(int(row, "rebuild_steps")?),
+            Cell::Int(int(row, "reuse_steps")?),
+            Cell::Hex(hex64(row, "state_checksum")?),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Per-phase span/message/byte census of the traced pass (Figure 6/7
+/// shape): everything the trace models deterministically, without the
+/// measured `wall_us` column.
+pub fn trace_phases_table(trace: &Json) -> Result<Table, String> {
+    want_schema(trace, "trace-scaling/v1")?;
+    let mut t = Table::new(
+        "TABLE_trace_phases",
+        "Traced pass, deterministic columns: per-phase spans, modeled messages/bytes/us",
+        &[
+            "nodes",
+            "threads",
+            "phase",
+            "spans",
+            "messages",
+            "bytes",
+            "modeled_us",
+            "state_checksum",
+        ],
+    );
+    let rows = field(trace, "rows")?
+        .as_arr()
+        .ok_or("rows is not an array")?;
+    for row in rows {
+        let nodes = int(row, "nodes")?;
+        let threads = int(row, "threads")?;
+        let checksum = hex64(row, "state_checksum")?;
+        let phases = field(row, "phases")?
+            .as_arr()
+            .ok_or("phases is not an array")?;
+        for p in phases {
+            let name = field(p, "phase")?
+                .as_str()
+                .ok_or("phase name is not a string")?;
+            t.push_row(vec![
+                Cell::Int(nodes),
+                Cell::Int(threads),
+                Cell::text(name),
+                Cell::Int(int(p, "spans")?),
+                Cell::Int(int(p, "messages")?),
+                Cell::Int(int(p, "bytes")?),
+                Cell::Fixed6(micro(p, "modeled_us")?),
+                Cell::Hex(checksum),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// The checkpoint probe of the traced pass: file count and exact bytes
+/// written (the serialize time is measured and therefore excluded).
+pub fn ckpt_table(trace: &Json) -> Result<Table, String> {
+    want_schema(trace, "trace-scaling/v1")?;
+    let ck = field(trace, "checkpoint")?;
+    let mut t = Table::new(
+        "TABLE_ckpt",
+        "Checkpoint probe of the traced 8-node pass: exact write census",
+        &["files", "bytes_written"],
+    );
+    t.push_row(vec![
+        Cell::Int(int(ck, "files")?),
+        Cell::Int(int(ck, "bytes_written")?),
+    ]);
+    Ok(t)
+}
+
+/// Every exported table, in a fixed order, from the two parsed artifacts.
+pub fn all_tables(bench: &Json, trace: &Json) -> Result<Vec<Table>, String> {
+    Ok(vec![
+        table2(),
+        table4(),
+        scaling_table(bench)?,
+        trace_phases_table(trace)?,
+        ckpt_table(trace)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tables_are_deterministic_and_well_formed() {
+        let a = table2().render_csv();
+        let b = table2().render_csv();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2 + 1 + 14, "2 settings x 7 tasks");
+        let t4 = table4().render_csv();
+        assert_eq!(t4.lines().count(), 2 + 1 + TABLE4.len());
+        assert!(t4.contains("DHFR"));
+    }
+
+    #[test]
+    fn scaling_table_rejects_wrong_schema() {
+        let doc = Json::parse(r#"{"schema": "bench-scaling/v1", "rows": []}"#).unwrap();
+        assert!(scaling_table(&doc).is_err());
+    }
+
+    #[test]
+    fn scaling_table_excludes_wall_clock_columns() {
+        let doc = Json::parse(
+            r#"{"schema": "bench-scaling/v2", "atoms": 12, "rows": [
+                {"nodes": 8, "threads": 2, "ms_per_step": 1.25, "lr_ms_per_eval": 0.5,
+                 "links_per_rank": 4, "kb_per_step_rank": 60.282629, "mean_hops": 1.25,
+                 "modeled_comm_us": 4.313569, "fft_messages_per_rank_lr_step": 384.0,
+                 "fft_kb_per_rank_lr_step": 24.0, "mesh_halo_kb_per_rank_lr_step": 56.0,
+                 "match_candidates": 10, "match_pairs": 5, "match_batches": 2,
+                 "rebuild_steps": 1, "reuse_steps": 3, "mean_reuse_interval": 2.0,
+                 "state_checksum": "9e6b6ba919bbf63a"}
+            ]}"#,
+        )
+        .unwrap();
+        let csv = scaling_table(&doc).unwrap().render_csv();
+        assert!(!csv.contains("ms_per_step"));
+        assert!(csv.contains("60.282629"));
+        assert!(csv.contains("0x9e6b6ba919bbf63a"));
+    }
+}

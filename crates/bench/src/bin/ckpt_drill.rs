@@ -11,6 +11,7 @@
 //! diverges from golden. A machine-readable report lands in
 //! `results/CKPT_drill.json` (gitignored; uploaded as a CI artifact).
 
+use anton_analysis::battery::Verifier;
 use anton_ckpt::{load_file, CheckpointStore, CkptError};
 use anton_core::{AntonSimulation, Decomposition};
 use anton_systems::spec::RunParams;
@@ -121,6 +122,26 @@ impl Report {
     }
 }
 
+/// Run the closed-form identity battery over a finished simulation and
+/// record the outcome as a drill leg. After a resume this audits the
+/// restored state end to end: every force word and energy scalar must
+/// recompute bitwise, and the cumulative exchange census (carried through
+/// the checkpoint) must still satisfy every per-step identity.
+fn battery_leg(report: &mut Report, name: &str, sim: &AntonSimulation) {
+    let mut verifier = Verifier::new(sim);
+    verifier.sample(sim);
+    let violations = verifier.violations();
+    report.record(
+        name,
+        violations.is_empty(),
+        if violations.is_empty() {
+            "identity battery clean".to_string()
+        } else {
+            format!("{} violations, first: {}", violations.len(), violations[0])
+        },
+    );
+}
+
 /// Kill-and-resume drill: run to `kill_cycle`, drop the simulation with no
 /// orderly shutdown, resume from the store, finish, compare bitwise.
 fn kill_resume_leg(report: &mut Report, kill_cycle: usize, golden_final: u64, k: u64) {
@@ -147,6 +168,7 @@ fn kill_resume_leg(report: &mut Report, kill_cycle: usize, golden_final: u64, k:
                     sum
                 ),
             );
+            battery_leg(report, &format!("kill_at_cycle_{kill_cycle}_battery"), &sim);
         }
         Err(e) => report.record(
             &format!("kill_at_cycle_{kill_cycle}"),
@@ -321,6 +343,7 @@ fn recovery_leg(report: &mut Report, golden_final: u64, k: u64) {
                      (want {want_step}), final {sum:016x} (want {golden_final:016x})"
                 ),
             );
+            battery_leg(report, "recover_from_previous_valid_battery", &sim);
         }
         Err(e) => report.record(
             "recover_from_previous_valid",
@@ -343,20 +366,22 @@ fn main() {
         CYCLES as u64 * k
     );
 
-    // Golden uninterrupted run (no checkpointing: also proves the store is
-    // purely observational).
-    let golden_final = {
-        let mut sim = builder(None).build();
-        sim.run_cycles(CYCLES);
-        state_checksum(&sim)
-    };
-    println!("golden final checksum: {golden_final:016x}\n");
-
     let mut report = Report {
         legs: Vec::new(),
         injections: 0,
         detections: 0,
     };
+
+    // Golden uninterrupted run (no checkpointing: also proves the store is
+    // purely observational). The identity battery over its final state is
+    // the reference every resumed leg's battery must match.
+    let golden_final = {
+        let mut sim = builder(None).build();
+        sim.run_cycles(CYCLES);
+        battery_leg(&mut report, "golden_battery", &sim);
+        state_checksum(&sim)
+    };
+    println!("golden final checksum: {golden_final:016x}\n");
 
     for kill_cycle in [1usize, 3, 5] {
         kill_resume_leg(&mut report, kill_cycle, golden_final, k);

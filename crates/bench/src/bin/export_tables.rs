@@ -1,0 +1,39 @@
+//! Regenerate the deterministic paper-artifact CSVs.
+//!
+//! `cargo run -p anton-bench --bin export_tables`
+//!
+//! Reads the checked-in `results/BENCH_scaling.json` and
+//! `results/TRACE_scaling.json`, renders every `results/TABLE_*.csv`
+//! (schema `anton-tables/v1`), and prints what changed. The rendering is
+//! byte-deterministic — integer-only formatting over model outputs and
+//! exact counters — so CI regenerates the files and fails on any drift
+//! (`git diff --exit-code results/TABLE_*.csv`).
+
+use anton_bench::artifacts::{all_tables, results_dir};
+use anton_bench::json::Json;
+use std::fs;
+
+fn main() {
+    let dir = results_dir();
+    let load = |name: &str| -> Json {
+        let path = dir.join(name);
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        Json::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()))
+    };
+    let bench = load("BENCH_scaling.json");
+    let trace = load("TRACE_scaling.json");
+    let tables = all_tables(&bench, &trace).unwrap_or_else(|e| panic!("building tables: {e}"));
+    for t in &tables {
+        let path = dir.join(format!("{}.csv", t.name));
+        let rendered = t.render_csv();
+        let previous = fs::read_to_string(&path).ok();
+        let status = match &previous {
+            None => "created",
+            Some(p) if *p == rendered => "unchanged",
+            Some(_) => "UPDATED",
+        };
+        fs::write(&path, &rendered).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("{status:>9}  {}  ({} rows)", path.display(), t.rows.len());
+    }
+}

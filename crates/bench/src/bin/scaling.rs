@@ -17,7 +17,10 @@
 //! `results/BENCH_scaling.json` so the perf trajectory is tracked across
 //! PRs.
 
+use anton_analysis::battery::Verifier;
+use anton_analysis::verify::check_census_invariance;
 use anton_core::{AntonSimulation, Decomposition, RawForces};
+use anton_machine::perf::ExchangeCounters;
 use anton_machine::MachineConfig;
 use anton_systems::spec::RunParams;
 use anton_systems::System;
@@ -302,6 +305,12 @@ fn traced_pass(sys: &System, cycles: usize) -> (Vec<TraceRow>, CkptStats) {
                 println!("wrote results/TRACE_chrome.json");
             }
         }
+        // The traced rows run the same battery: tracing (like
+        // checkpointing) is observability-only, so every identity must
+        // still hold word-for-word.
+        let mut verifier = Verifier::new(&sim);
+        verifier.sample(&sim);
+        verifier.assert_clean();
         out.push(TraceRow {
             nodes,
             threads,
@@ -355,6 +364,7 @@ fn main() {
     }
 
     let mut rows: Vec<Row> = Vec::new();
+    let mut row_counters: Vec<ExchangeCounters> = Vec::new();
     for &nodes in &[1usize, 8, 64] {
         for &threads in &[1usize, 2, 4] {
             let decomposition = if nodes == 1 && threads == 1 {
@@ -371,6 +381,18 @@ fn main() {
             sim.run_cycles(cycles);
             let ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
             let lr_ms_per_eval = time_long_range(&mut sim, lr_reps);
+
+            // Closed-form identity battery over the final state: the
+            // verifier's serial recompute cross-checks every force word and
+            // energy scalar bitwise, and the census identities audit the
+            // cumulative exchange counters. Sampled after the timed loop so
+            // the recompute doesn't bill itself to `ms_per_step`
+            // (`time_long_range` snapshots/restores the counters, so the
+            // cumulative identities still hold here).
+            let mut verifier = Verifier::new(&sim);
+            verifier.sample(&sim);
+            verifier.assert_clean();
+            row_counters.push(sim.pipeline.counters);
 
             let mut row = Row {
                 nodes,
@@ -441,6 +463,20 @@ fn main() {
             .all(|r| r.rebuild_steps == rows[0].rebuild_steps
                 && r.reuse_steps == rows[0].reuse_steps),
         "match-cache rebuild schedule diverged across configurations"
+    );
+    // The same invariance, re-proved through the verifier's typed path:
+    // the decomposition-independent census words (surviving pairs,
+    // rebuild/reuse schedule) must agree between every pair of rows.
+    for (i, c) in row_counters.iter().enumerate().skip(1) {
+        let skew = check_census_invariance(cycles as u64, &row_counters[0], c);
+        assert!(
+            skew.is_empty(),
+            "census invariance violated between row 0 and row {i}: {skew:?}"
+        );
+    }
+    println!(
+        "verifier: full identity battery clean on all {} rows; cross-row census invariant",
+        rows.len()
     );
     println!(
         "match cache: {} rebuilds / {} reuses per row (mean interval {:.2} steps), identical in every row",

@@ -8,6 +8,7 @@
 use anton_core::{AntonSimulation, ThermostatKind};
 use anton_systems::System;
 
+pub mod artifacts;
 pub mod json;
 
 /// Parse the common `--full` flag.

@@ -26,6 +26,31 @@ pub enum ThermostatKind {
     Berendsen { target_k: f64, tau_fs: f64 },
 }
 
+/// A cycle-boundary hook: called with the simulation in its post-cycle
+/// state (palindromic cycle closed, forces fresh for the current
+/// positions). Observers are strictly read-only with respect to the
+/// trajectory — the engine hands them `&AntonSimulation` — so installing
+/// one can never change a bit of the state. The `anton-analysis` crate's
+/// invariant verifier is the canonical implementor.
+///
+/// The `Any` supertrait lets callers recover a concrete observer back out
+/// of the engine (e.g. to read accumulated verifier violations) through
+/// [`AntonSimulation::observer`].
+pub trait CycleObserver: std::any::Any {
+    /// Called after each sampled cycle completes.
+    fn on_cycle(&mut self, sim: &AntonSimulation);
+    /// Upcast for concrete-type recovery.
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Installed observer + its sampling cadence.
+struct ObserverSlot {
+    /// Sample every `every` cycles (cycle numbers divisible by `every`).
+    every: u64,
+    obs: Box<dyn CycleObserver>,
+}
+
 /// Builder for [`AntonSimulation`].
 pub struct SimulationBuilder {
     system: System,
@@ -38,6 +63,7 @@ pub struct SimulationBuilder {
     checkpoint_every: u64,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_keep: usize,
+    observer: Option<ObserverSlot>,
 }
 
 impl SimulationBuilder {
@@ -111,6 +137,21 @@ impl SimulationBuilder {
         self
     }
 
+    /// Install a [`CycleObserver`] sampled every `every` cycles (minimum 1).
+    /// The observer runs at cycle boundaries only, after any automatic
+    /// checkpoint, and sees the simulation immutably — observation never
+    /// affects the trajectory. One observer per simulation; installing a
+    /// second replaces the first.
+    ///
+    /// `anton-analysis` layers `verify_every(n)` on top of this hook.
+    pub fn observe_every(mut self, every: u64, observer: Box<dyn CycleObserver>) -> Self {
+        self.observer = Some(ObserverSlot {
+            every: every.max(1),
+            obs: observer,
+        });
+        self
+    }
+
     /// Build, then restore the newest valid checkpoint from `path` (a
     /// store directory, or a single `.ant` file). The snapshot's config
     /// fingerprint is verified against this builder's configuration
@@ -158,7 +199,7 @@ impl SimulationBuilder {
             (None, 0) => None,
             (None, every) => panic!("checkpoint_every({every}) requires checkpoint_dir"),
         };
-        AntonSimulation::new(
+        let mut sim = AntonSimulation::new(
             self.system,
             velocities,
             self.decomposition,
@@ -167,7 +208,9 @@ impl SimulationBuilder {
             self.constraints_enabled,
             self.tracing,
             ckpt,
-        )
+        );
+        sim.observer = self.observer;
+        sim
     }
 }
 
@@ -230,6 +273,8 @@ pub struct AntonSimulation {
     /// Config fingerprint (pure function of system/decomposition/threads),
     /// stamped into every written checkpoint and verified on restore.
     fingerprint: u64,
+    /// Cycle-boundary observer (read-only; never affects the trajectory).
+    observer: Option<ObserverSlot>,
 }
 
 impl AntonSimulation {
@@ -245,6 +290,7 @@ impl AntonSimulation {
             checkpoint_every: 0,
             checkpoint_dir: None,
             checkpoint_keep: 3,
+            observer: None,
         }
     }
 
@@ -305,6 +351,7 @@ impl AntonSimulation {
             step: 0,
             ckpt,
             fingerprint,
+            observer: None,
         };
         sim.update_virtual_sites();
         sim.refresh_short();
@@ -335,8 +382,10 @@ impl AntonSimulation {
     }
 
     /// Spread accumulated virtual-site raw forces onto parents (quantized,
-    /// deterministic).
-    fn spread_vsite_forces(out: &mut RawForces, sys: &System) {
+    /// deterministic). Public so an external checker (the `anton-analysis`
+    /// verifier) can reproduce the engine's exact post-pipeline force words
+    /// from an independent recomputation.
+    pub fn spread_vsite_forces(out: &mut RawForces, sys: &System) {
         for v in &sys.topology.virtual_sites {
             let fm = out.f[v.site as usize];
             out.f[v.site as usize] = [0; 3];
@@ -482,6 +531,15 @@ impl AntonSimulation {
                 );
             }
         }
+
+        // Cycle observer: detached from `self` while it borrows the
+        // simulation immutably, so observation can never write state.
+        if let Some(mut slot) = self.observer.take() {
+            if cycle.is_multiple_of(slot.every) {
+                slot.obs.on_cycle(&*self);
+            }
+            self.observer = Some(slot);
+        }
     }
 
     pub fn run_cycles(&mut self, n: usize) {
@@ -515,6 +573,47 @@ impl AntonSimulation {
 
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// Completed outer RESPA cycles (`step / longrange_every`).
+    pub fn cycle_count(&self) -> u64 {
+        self.step / self.system.params.longrange_every.max(1) as u64
+    }
+
+    /// The short-range force class exactly as the integrator will kick with
+    /// it: range-limited + bonded raw words, virtual-site spread applied.
+    pub fn short_forces(&self) -> &RawForces {
+        &self.short
+    }
+
+    /// The long-range force class (reciprocal + correction, virtual-site
+    /// spread applied).
+    pub fn long_forces(&self) -> &RawForces {
+        &self.long
+    }
+
+    /// Mutable short-range force words. Exists for fault-injection tests
+    /// (proving the verifier's force-consistency identity can fire); code
+    /// that mutates these outside a test is corrupting the trajectory.
+    pub fn short_forces_mut(&mut self) -> &mut RawForces {
+        &mut self.short
+    }
+
+    /// Mutable long-range force words (fault injection; see
+    /// [`Self::short_forces_mut`]).
+    pub fn long_forces_mut(&mut self) -> &mut RawForces {
+        &mut self.long
+    }
+
+    /// The installed cycle observer, if any (see
+    /// [`SimulationBuilder::observe_every`]). Downcast through
+    /// [`CycleObserver::as_any`] to recover the concrete type.
+    pub fn observer(&self) -> Option<&dyn CycleObserver> {
+        self.observer.as_ref().map(|s| &*s.obs)
+    }
+
+    pub fn observer_mut(&mut self) -> Option<&mut dyn CycleObserver> {
+        self.observer.as_mut().map(|s| &mut *s.obs)
     }
 
     /// The config fingerprint stamped into every checkpoint this

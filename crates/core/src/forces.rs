@@ -421,6 +421,29 @@ impl ForcePipeline {
         self.ranks.as_ref()
     }
 
+    /// Total charge on the reciprocal scratch mesh after the most recent
+    /// long-range evaluation: the exact sum of the merged `rho_q` words
+    /// (Q `MESH_FRAC`). Under `Nodes(n)` this is the rank-merged mesh; under
+    /// `SingleRank` the serially spread one. Charge conservation through
+    /// the spread is closed-form: an independent serial re-spread of the
+    /// same positions must reproduce this total bit-for-bit (the
+    /// `anton-analysis` mesh-charge identity).
+    pub fn mesh_charge_total(&self) -> i128 {
+        let mut total: i128 = 0;
+        for &q in &self.gse_scratch.rho_q {
+            total += q as i128;
+        }
+        total
+    }
+
+    /// Exact per-`lr_step` increments of the long-range exchange counters:
+    /// `[mesh_halo_messages, mesh_halo_bytes, fft_messages, fft_bytes]`
+    /// added per long-range step (`None` under `SingleRank`, where no mesh
+    /// exchange is metered). See [`anton_machine::MeshExchange::per_lr_step`].
+    pub fn mesh_lr_step_rates(&self) -> Option<[u64; 4]> {
+        self.mesh_exchange.as_ref().map(MeshExchange::per_lr_step)
+    }
+
     /// The trace sink recording this pipeline's phase spans and counters.
     pub fn trace(&self) -> &TraceSink {
         &self.trace

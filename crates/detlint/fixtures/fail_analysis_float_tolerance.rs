@@ -1,0 +1,9 @@
+// Fixture: linted as crates/analysis/src/verify.rs — D1 bans float
+// tolerance comparisons in the identity checks: every verifier test must
+// be an exact integer-word comparison (or sit behind an audited boundary).
+
+pub fn momentum_close_enough(lhs: f64, rhs: f64) -> bool {
+    (lhs - rhs).abs() < 1.0e-6
+}
+
+pub const TOLERANCE: f32 = 1.0e-6;

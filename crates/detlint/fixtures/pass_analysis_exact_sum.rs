@@ -1,0 +1,22 @@
+// Fixture: linted as crates/analysis/src/verify.rs — the sanctioned
+// identity shape: exact integer sums with checked arithmetic, compared
+// word-for-word; no floats, no tolerances.
+
+pub fn force_sum_is_zero(forces: &[[i64; 3]]) -> bool {
+    let mut total = [0i128; 3];
+    for f in forces {
+        for (axis, word) in f.iter().enumerate() {
+            total[axis] = match total[axis].checked_add(*word as i128) {
+                Some(t) => t,
+                None => return false,
+            };
+        }
+    }
+    total == [0, 0, 0]
+}
+
+pub fn counters_linear(counter: u64, steps: u64, rate: u64) -> bool {
+    steps
+        .checked_mul(rate)
+        .is_some_and(|expect| counter == expect)
+}

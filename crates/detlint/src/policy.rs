@@ -6,9 +6,11 @@
 //! benches, tests), where ordinary floating point is fine.
 
 /// Crates on the simulation path: wall-clock reads (D4) and parallel
-/// reductions (D5) are policed here.
+/// reductions (D5) are policed here. `analysis` is included because its
+/// verifier recomputes engine state word-for-word and renders byte-stable
+/// artifacts — a nondeterministic check would report phantom violations.
 pub const DET_CRATES: &[&str] = &[
-    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace", "ckpt",
+    "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace", "ckpt", "analysis",
 ];
 
 /// Crates where unordered-container iteration (D2) is policed. `systems`
@@ -27,6 +29,10 @@ pub const D1_FILES: &[&str] = &[
     "crates/fixpoint/src/q.rs",
     "crates/fixpoint/src/fxvec.rs",
     "crates/core/src/state.rs",
+    // The closed-form identity checks: every comparison must be an exact
+    // integer-word test, never a float tolerance (the one physical-bound
+    // check, energy drift, sits behind an audited boundary).
+    "crates/analysis/src/verify.rs",
 ];
 
 /// The one module where lossy integer `as` casts are audited by hand (D3

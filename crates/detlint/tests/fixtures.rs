@@ -413,6 +413,36 @@ fn d8_scope_is_ckpt_and_trace_only() {
 }
 
 #[test]
+fn analysis_verify_is_a_d1_file() {
+    // `analysis` joined the simulation path and verify.rs joined the D1
+    // list: a float-tolerance comparison in an identity check fires like
+    // any float in the fixed-point core.
+    let hits = rules_hit(
+        "crates/analysis/src/verify.rs",
+        "fail_analysis_float_tolerance.rs",
+    );
+    assert_eq!(hits, [("D1".into(), 5), ("D1".into(), 6), ("D1".into(), 9)]);
+    // The ban is scoped to the identity checks: the statistics modules of
+    // the same crate keep ordinary floating point.
+    assert_eq!(
+        rules_hit(
+            "crates/analysis/src/stats.rs",
+            "fail_analysis_float_tolerance.rs"
+        ),
+        []
+    );
+}
+
+#[test]
+fn exact_integer_identity_checks_pass_in_analysis() {
+    let hits = rules_hit(
+        "crates/analysis/src/verify.rs",
+        "pass_analysis_exact_sum.rs",
+    );
+    assert_eq!(hits, []);
+}
+
+#[test]
 fn raw_strings_and_nested_comments_do_not_smuggle_violations() {
     let lint = lint_source(
         "crates/core/src/good.rs",

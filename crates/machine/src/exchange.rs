@@ -225,11 +225,27 @@ impl MeshExchange {
     /// spreading + potential-halo broadcast before interpolation (factor
     /// two), and the forward + inverse FFT (factor two).
     pub fn record_lr_step(&self, c: &mut ExchangeCounters) {
+        let [halo_msgs, halo_bytes, fft_msgs, fft_bytes] = self.per_lr_step();
         c.lr_steps += 1;
-        c.mesh_halo_messages += 2 * self.ranks * self.halo_neighbors_per_rank;
-        c.mesh_halo_bytes += 2 * self.ranks * self.halo_points_per_rank * MESH_BYTES;
-        c.fft_messages += 2 * self.fft_messages_per_transform;
-        c.fft_bytes += 2 * self.fft_bytes_per_transform;
+        c.mesh_halo_messages += halo_msgs;
+        c.mesh_halo_bytes += halo_bytes;
+        c.fft_messages += fft_msgs;
+        c.fft_bytes += fft_bytes;
+    }
+
+    /// The exact per-step increments of [`Self::record_lr_step`]:
+    /// `[mesh_halo_messages, mesh_halo_bytes, fft_messages, fft_bytes]`
+    /// added per long-range step. The plan is static, so the cumulative
+    /// counters are *linear* in `lr_steps` with exactly these rates — the
+    /// closed-form identity the `anton-analysis` verifier checks
+    /// [`ExchangeCounters`] against every sampled cycle.
+    pub fn per_lr_step(&self) -> [u64; 4] {
+        [
+            2 * self.ranks * self.halo_neighbors_per_rank,
+            2 * self.ranks * self.halo_points_per_rank * MESH_BYTES,
+            2 * self.fft_messages_per_transform,
+            2 * self.fft_bytes_per_transform,
+        ]
     }
 }
 

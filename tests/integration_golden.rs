@@ -20,6 +20,7 @@
 //! and paste the printed block over the constants below. Treat that diff
 //! with the suspicion it deserves.
 
+use anton_analysis::battery::{assert_verified, Verifier, VerifyEveryExt};
 use anton_core::{AntonSimulation, Decomposition, TracePhase};
 use anton_systems::spec::RunParams;
 use anton_systems::System;
@@ -79,13 +80,19 @@ fn run_golden(nodes: usize, threads: usize, tracing: bool) -> Vec<u64> {
         .decomposition(decomposition)
         .threads(threads)
         .tracing(tracing)
+        .verify_every(1)
         .build();
-    (0..CYCLES)
+    let sums = (0..CYCLES)
         .map(|_| {
             sim.run_cycles(1);
             state_checksum(&sim)
         })
-        .collect()
+        .collect();
+    // Every golden run also carries the full invariant battery: third law,
+    // serial force consistency, mesh charge, census, momentum and energy —
+    // all clean on every cycle.
+    assert_verified(&sim);
+    sums
 }
 
 fn assert_golden(nodes: usize) {
@@ -156,6 +163,7 @@ fn assert_resume_golden(nodes: usize) {
                 .decomposition(decomposition)
                 .threads(threads)
                 .tracing(tracing)
+                .verify_every(1)
                 .resume_from(&dir)
                 .unwrap_or_else(|e| panic!("resume failed ({ctx}): {e}"));
             assert_eq!(
@@ -163,12 +171,21 @@ fn assert_resume_golden(nodes: usize) {
                 (CYCLES as u64 - 1) * k,
                 "resumed at the wrong step: {ctx}"
             );
+            // Re-verify the closed-form invariants directly on the restored
+            // state, before any further cycle runs: the refreshed force
+            // buffers, mesh charge, and carried-over exchange counters must
+            // already satisfy every identity.
+            let mut restored = Verifier::new(&sim);
+            restored.sample(&sim);
+            restored.assert_clean();
             sim.run_cycles(1);
             assert_eq!(
                 state_checksum(&sim),
                 GOLDEN_FINAL_CHECKSUM,
                 "interrupt-and-resume diverged from golden: {ctx}"
             );
+            // The installed battery sampled the post-resume cycle too.
+            assert_verified(&sim);
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
