@@ -258,14 +258,75 @@ pub fn ckpt_table(trace: &Json) -> Result<Table, String> {
     Ok(t)
 }
 
-/// Every exported table, in a fixed order, from the two parsed artifacts.
-pub fn all_tables(bench: &Json, trace: &Json) -> Result<Vec<Table>, String> {
+/// The fleet drill's canonical-pass census: per-job preemption, resume,
+/// and checkpoint-byte counters plus the pinned trajectory checksums, with
+/// a TOTAL row whose checksum column carries the whole-fleet identity.
+/// Every column is an exact integer of the canonical pass.
+pub fn fleet_table(fleet: &Json) -> Result<Table, String> {
+    want_schema(fleet, "fleet-drill/v1")?;
+    let mut t = Table::new(
+        "TABLE_fleet",
+        "Fleet drill canonical pass: per-job slice census under checkpoint preemption",
+        &[
+            "job",
+            "priority",
+            "atoms",
+            "cycles",
+            "quantum",
+            "preemptions",
+            "resumes",
+            "ckpt_bytes",
+            "violations",
+            "final_checksum",
+        ],
+    );
+    let quantum = int(fleet, "quantum")?;
+    let jobs = field(fleet, "jobs")?
+        .as_arr()
+        .ok_or("jobs is not an array")?;
+    for row in jobs {
+        let name = field(row, "name")?
+            .as_str()
+            .ok_or("job name is not a string")?;
+        t.push_row(vec![
+            Cell::text(name),
+            Cell::Int(int(row, "priority")?),
+            Cell::Int(int(row, "atoms")?),
+            Cell::Int(int(row, "cycles")?),
+            Cell::Int(quantum),
+            Cell::Int(int(row, "preemptions")?),
+            Cell::Int(int(row, "resumes")?),
+            Cell::Int(int(row, "ckpt_bytes")?),
+            Cell::Int(int(row, "violations")?),
+            Cell::Hex(hex64(row, "final_checksum")?),
+        ]);
+    }
+    let totals = field(fleet, "totals")?;
+    t.push_row(vec![
+        Cell::text("TOTAL"),
+        Cell::Int(0),
+        Cell::Int(jobs.iter().map(|r| int(r, "atoms").unwrap_or(0)).sum()),
+        Cell::Int(int(totals, "cycles")?),
+        Cell::Int(quantum),
+        Cell::Int(int(totals, "preemptions")?),
+        Cell::Int(int(totals, "resumes")?),
+        Cell::Int(int(totals, "ckpt_bytes")?),
+        Cell::Int(0),
+        Cell::Hex(hex64(totals, "fleet_checksum")?),
+    ]);
+    Ok(t)
+}
+
+/// Every exported table, in a fixed order, from the three parsed
+/// artifacts.
+pub fn all_tables(bench: &Json, trace: &Json, fleet: &Json) -> Result<Vec<Table>, String> {
     Ok(vec![
         table2(),
         table4(),
         scaling_table(bench)?,
         trace_phases_table(trace)?,
         ckpt_table(trace)?,
+        fleet_table(fleet)?,
     ])
 }
 

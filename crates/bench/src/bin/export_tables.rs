@@ -2,8 +2,9 @@
 //!
 //! `cargo run -p anton-bench --bin export_tables`
 //!
-//! Reads the checked-in `results/BENCH_scaling.json` and
-//! `results/TRACE_scaling.json`, renders every `results/TABLE_*.csv`
+//! Reads the checked-in `results/BENCH_scaling.json`,
+//! `results/TRACE_scaling.json`, and `results/FLEET_drill.json`, renders
+//! every `results/TABLE_*.csv`
 //! (schema `anton-tables/v1`), and prints what changed. The rendering is
 //! byte-deterministic — integer-only formatting over model outputs and
 //! exact counters — so CI regenerates the files and fails on any drift
@@ -23,7 +24,9 @@ fn main() {
     };
     let bench = load("BENCH_scaling.json");
     let trace = load("TRACE_scaling.json");
-    let tables = all_tables(&bench, &trace).unwrap_or_else(|e| panic!("building tables: {e}"));
+    let fleet = load("FLEET_drill.json");
+    let tables =
+        all_tables(&bench, &trace, &fleet).unwrap_or_else(|e| panic!("building tables: {e}"));
     for t in &tables {
         let path = dir.join(format!("{}.csv", t.name));
         let rendered = t.render_csv();

@@ -1,0 +1,533 @@
+//! Crash drill for the `anton-fleet` subsystem: run a mixed waterbox
+//! fleet under checkpoint-preemptive scheduling, kill the daemon with
+//! SIGKILL at several distinct progress points (plus one deliberate
+//! corruption of the newest persisted queue snapshot), restart it each
+//! time, and prove that every job still finishes bitwise identical to an
+//! uninterrupted solo run with a clean analysis battery.
+//!
+//! `cargo run --release -p anton-bench --bin fleet_drill`
+//!
+//! Two outputs:
+//! - `results/FLEET_drill.json` — the *canonical pass* census (one fixed
+//!   quantum/worker shape, run in-process): per-job preemptions, resumes,
+//!   checkpoint bytes, and final checksums. Deterministic byte-for-byte;
+//!   checked in and diffed by CI, and the source of `TABLE_fleet.csv`.
+//! - `results/FLEET_report.json` — pass/fail legs of the whole drill,
+//!   including the kill rounds (whose exact kill cycles are timing-
+//!   dependent); gitignored, uploaded as a CI artifact.
+//!
+//! The drill exits nonzero if any leg fails.
+
+use anton_fleet::{state_checksum, Fleet, FleetConfig, JobPhase, JobSpec, JobStatusView};
+use std::path::PathBuf;
+
+/// The canonical pass shape pinned by `results/FLEET_drill.json`.
+const CANONICAL_QUANTUM: u64 = 3;
+const CANONICAL_WORKERS: usize = 1;
+
+/// The mixed fleet: sizes, temperatures, priorities, and lengths all
+/// differ, including one multi-rank multi-thread member.
+fn fleet_specs() -> Vec<JobSpec> {
+    let spec = |name: &str,
+                n_waters: u32,
+                box_edge: f64,
+                temperature_k: f64,
+                cycles: u64,
+                priority: u32,
+                nodes: u32,
+                threads: u32| JobSpec {
+        name: name.into(),
+        n_waters,
+        box_edge,
+        placement_seed: 3,
+        temperature_k,
+        velocity_seed: 7 + priority as u64,
+        cutoff: 6.5,
+        mesh: 16,
+        cycles,
+        priority,
+        nodes,
+        threads,
+    };
+    vec![
+        spec("drill-hot-small", 20, 13.5, 320.0, 6, 3, 0, 1),
+        spec("drill-mid", 30, 15.0, 300.0, 8, 2, 0, 1),
+        spec("drill-wide", 40, 16.0, 300.0, 5, 1, 8, 2),
+        spec("drill-cool", 24, 14.0, 285.0, 7, 0, 0, 1),
+    ]
+}
+
+/// Uninterrupted solo run of one spec: the golden trajectory identity.
+fn solo_checksum(spec: &JobSpec) -> u64 {
+    let mut sim = spec.builder().expect("drill spec must build").build();
+    sim.run_cycles(spec.cycles as usize);
+    state_checksum(&sim)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from("target/fleet_drill").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Leg {
+    name: String,
+    detail: String,
+    passed: bool,
+}
+
+struct Report {
+    legs: Vec<Leg>,
+}
+
+impl Report {
+    fn record(&mut self, name: &str, passed: bool, detail: String) {
+        println!(
+            "  [{}] {name}: {detail}",
+            if passed { "ok" } else { "FAIL" }
+        );
+        self.legs.push(Leg {
+            name: name.to_string(),
+            detail,
+            passed,
+        });
+    }
+
+    fn write(&self, path: &str) {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"fleet-report/v1\",\n");
+        s.push_str("  \"legs\": [\n");
+        for (i, l) in self.legs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"passed\": {}, \"detail\": \"{}\"}}{}\n",
+                l.name,
+                l.passed,
+                l.detail.replace('"', "'"),
+                if i + 1 < self.legs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"passed\": {}\n}}\n",
+            self.legs.iter().all(|l| l.passed)
+        ));
+        if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &s)) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Check a drained fleet's views against the goldens; returns a detail
+/// string and overall pass.
+fn check_against_golden(
+    views: &[JobStatusView],
+    specs: &[JobSpec],
+    goldens: &[u64],
+) -> (bool, String) {
+    let mut bad = Vec::new();
+    for (spec, golden) in specs.iter().zip(goldens) {
+        let Some(v) = views.iter().find(|v| v.id == spec.job_id()) else {
+            bad.push(format!("{}: missing", spec.name));
+            continue;
+        };
+        if v.phase != JobPhase::Done {
+            bad.push(format!("{}: phase {}", spec.name, v.phase.name()));
+        } else if v.final_checksum != *golden {
+            bad.push(format!(
+                "{}: checksum {:016x} want {golden:016x}",
+                spec.name, v.final_checksum
+            ));
+        } else if v.violations != 0 {
+            bad.push(format!(
+                "{}: {} battery violations",
+                spec.name, v.violations
+            ));
+        }
+    }
+    if bad.is_empty() {
+        (
+            true,
+            format!(
+                "{} jobs bitwise-identical to solo, batteries clean",
+                specs.len()
+            ),
+        )
+    } else {
+        (false, bad.join("; "))
+    }
+}
+
+/// The canonical in-process pass: fixed quantum/workers, deterministic
+/// census written to `results/FLEET_drill.json`.
+fn canonical_pass(report: &mut Report, specs: &[JobSpec], goldens: &[u64]) {
+    let mut cfg = FleetConfig::new(fresh_dir("canonical"));
+    cfg.quantum = CANONICAL_QUANTUM;
+    cfg.workers = CANONICAL_WORKERS;
+    let fleet = Fleet::create(cfg).expect("create canonical fleet");
+    for s in specs {
+        let (_, fresh, _) = fleet.submit(s.clone()).expect("submit");
+        assert!(fresh, "duplicate spec in drill corpus");
+    }
+    // Idempotent resubmit: identical specs are the same job.
+    let dups_fresh = specs
+        .iter()
+        .filter(|s| fleet.submit((*s).clone()).expect("resubmit").1)
+        .count();
+    report.record(
+        "idempotent_resubmit",
+        dups_fresh == 0,
+        format!(
+            "{dups_fresh} of {} resubmits created new jobs (want 0)",
+            specs.len()
+        ),
+    );
+
+    fleet.run_to_completion();
+    let views = fleet.list();
+    let (ok, detail) = check_against_golden(&views, specs, goldens);
+    report.record("canonical_pass_vs_golden", ok, detail);
+
+    // Slice counters must match the closed form: ceil(cycles/quantum)-1.
+    let counter_bad: Vec<String> = views
+        .iter()
+        .filter_map(|v| {
+            let want = v.cycles_total.div_ceil(CANONICAL_QUANTUM) - 1;
+            (v.preemptions != want || v.resumes != want).then(|| {
+                format!(
+                    "{}: preempt {} resume {} want {want}",
+                    v.name, v.preemptions, v.resumes
+                )
+            })
+        })
+        .collect();
+    report.record(
+        "canonical_slice_counters",
+        counter_bad.is_empty(),
+        if counter_bad.is_empty() {
+            "preemptions and resumes match ceil(cycles/quantum)-1".into()
+        } else {
+            counter_bad.join("; ")
+        },
+    );
+
+    write_drill_json(&views, specs, "results/FLEET_drill.json");
+    let _ = std::fs::remove_dir_all(&fleet.config().state_dir);
+}
+
+/// Deterministic canonical-census artifact (schema `fleet-drill/v1`).
+/// Every field is an exact integer of the canonical pass; the rendering
+/// is a pure function of the views, so CI can diff the bytes.
+fn write_drill_json(views: &[JobStatusView], specs: &[JobSpec], path: &str) {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"fleet-drill/v1\",\n");
+    s.push_str(&format!("  \"quantum\": {CANONICAL_QUANTUM},\n"));
+    s.push_str(&format!("  \"workers\": {CANONICAL_WORKERS},\n"));
+    s.push_str("  \"jobs\": [\n");
+    let atoms_of = |v: &JobStatusView| {
+        specs
+            .iter()
+            .find(|s| s.job_id() == v.id)
+            .map(|s| s.n_waters as u64 * 3)
+            .unwrap_or(0)
+    };
+    for (i, v) in views.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"id\": \"{}\", \"priority\": {}, \"atoms\": {}, \
+             \"cycles\": {}, \"preemptions\": {}, \"resumes\": {}, \"ckpt_bytes\": {}, \
+             \"violations\": {}, \"battery_samples\": {}, \"final_checksum\": \"{:016x}\"}}{}\n",
+            v.name,
+            v.id,
+            v.priority,
+            atoms_of(v),
+            v.cycles_total,
+            v.preemptions,
+            v.resumes,
+            v.ckpt_bytes,
+            v.violations,
+            v.battery_samples,
+            v.final_checksum,
+            if i + 1 < views.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    // One pinned identity for the whole fleet: FNV-1a over the per-job
+    // final checksums in schedule order.
+    let mut fleet_sum: u64 = 0xcbf29ce484222325;
+    for v in views {
+        for b in v.final_checksum.to_le_bytes() {
+            fleet_sum = (fleet_sum ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    s.push_str("  \"totals\": {");
+    s.push_str(&format!(
+        "\"jobs\": {}, \"cycles\": {}, \"preemptions\": {}, \"resumes\": {}, \"ckpt_bytes\": {}, \
+         \"fleet_checksum\": \"{fleet_sum:016x}\"",
+        views.len(),
+        views.iter().map(|v| v.cycles_total).sum::<u64>(),
+        views.iter().map(|v| v.preemptions).sum::<u64>(),
+        views.iter().map(|v| v.resumes).sum::<u64>(),
+        views.iter().map(|v| v.ckpt_bytes).sum::<u64>(),
+    ));
+    s.push_str("}\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &s)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+/// The preemption-invariance matrix: quantum {1,3,7} x workers {1,4},
+/// each cell an in-process drain compared bitwise against the goldens.
+fn invariance_matrix(report: &mut Report, specs: &[JobSpec], goldens: &[u64]) {
+    for &quantum in &[1u64, 3, 7] {
+        for &workers in &[1usize, 4] {
+            let mut cfg = FleetConfig::new(fresh_dir(&format!("matrix-q{quantum}-w{workers}")));
+            cfg.quantum = quantum;
+            cfg.workers = workers;
+            let fleet = Fleet::create(cfg).expect("create matrix fleet");
+            for s in specs {
+                fleet.submit(s.clone()).expect("submit");
+            }
+            fleet.run_to_completion();
+            let (ok, detail) = check_against_golden(&fleet.list(), specs, goldens);
+            report.record(&format!("matrix_q{quantum}_w{workers}"), ok, detail);
+            let _ = std::fs::remove_dir_all(&fleet.config().state_dir);
+        }
+    }
+}
+
+/// The kill -9 drill (Unix only: it spawns a real daemon process).
+#[cfg(unix)]
+mod killdrill {
+    use super::{check_against_golden, fresh_dir, Report};
+    use anton_fleet::{FleetClient, JobPhase, JobSpec};
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+
+    const QUANTUM: u64 = 1;
+    const WORKERS: usize = 1;
+
+    /// Serve a daemon in this process (the `--daemon` self-respawn mode).
+    pub fn serve_daemon(socket: &str, state: &str) -> i32 {
+        let mut fleet = anton_fleet::FleetConfig::new(state);
+        fleet.quantum = QUANTUM;
+        fleet.workers = WORKERS;
+        let cfg = anton_fleet::DaemonConfig {
+            socket: PathBuf::from(socket),
+            fleet,
+        };
+        match anton_fleet::daemon::serve(&cfg) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("fleet_drill daemon: {e}");
+                1
+            }
+        }
+    }
+
+    fn spawn_daemon(socket: &Path, state: &Path) -> Child {
+        Command::new(std::env::current_exe().expect("current_exe"))
+            .arg("--daemon")
+            .arg(socket)
+            .arg(state)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn fleet_drill --daemon")
+    }
+
+    fn connect(socket: &Path) -> FleetClient {
+        FleetClient::connect_retry(socket, 400, 10).expect("connect to drill daemon")
+    }
+
+    /// Submit the whole corpus; returns how many submissions were fresh.
+    fn submit_all(client: &mut FleetClient, specs: &[JobSpec]) -> usize {
+        specs
+            .iter()
+            .filter(|s| client.submit((*s).clone()).expect("submit").1)
+            .count()
+    }
+
+    fn total_progress(client: &mut FleetClient) -> u64 {
+        client
+            .list()
+            .expect("list")
+            .iter()
+            .map(|v| {
+                if v.phase == JobPhase::Done {
+                    v.cycles_total
+                } else {
+                    v.cycles_done
+                }
+            })
+            .sum()
+    }
+
+    /// Poll until the fleet's total completed-cycle count reaches
+    /// `threshold` (or everything finishes), then SIGKILL the daemon.
+    fn kill_at_progress(mut child: Child, client: &mut FleetClient, threshold: u64) -> u64 {
+        let mut seen = 0u64;
+        for _ in 0..20_000u32 {
+            seen = total_progress(client);
+            if seen >= threshold {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        child.kill().expect("SIGKILL daemon");
+        let _ = child.wait();
+        seen
+    }
+
+    /// Flip one bit in the newest persisted queue snapshot: the next
+    /// daemon start must fall back to the previous valid snapshot.
+    fn corrupt_newest_queue_snapshot(state: &Path) -> Result<String, String> {
+        let qdir = state.join("queue");
+        let mut newest: Option<(String, PathBuf)> = None;
+        for entry in std::fs::read_dir(&qdir).map_err(|e| e.to_string())? {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("ckpt-")
+                && name.ends_with(".ant")
+                && newest.as_ref().map(|(n, _)| &name > n).unwrap_or(true)
+            {
+                newest = Some((name, entry.path()));
+            }
+        }
+        let (name, path) = newest.ok_or("no queue snapshot found")?;
+        let mut bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).map_err(|e| e.to_string())?;
+        Ok(name)
+    }
+
+    /// The drill proper: >= 3 SIGKILLs at increasing progress thresholds
+    /// (one preceded by queue-snapshot corruption), a restart after each,
+    /// and a final drain checked bitwise against the goldens.
+    pub fn run(report: &mut Report, specs: &[JobSpec], goldens: &[u64]) {
+        let root = fresh_dir("daemon");
+        std::fs::create_dir_all(&root).expect("create drill root");
+        let socket = root.join("s");
+        let state = root.join("state");
+        let total: u64 = specs.iter().map(|s| s.cycles).sum();
+        // Three strictly increasing kill thresholds: early, middle, late.
+        let thresholds = [2u64, total / 2, total.saturating_sub(3)];
+
+        let mut progress_at_kill = Vec::new();
+        for (round, &threshold) in thresholds.iter().enumerate() {
+            if round == 2 {
+                // Corrupt the newest queue snapshot while the daemon is
+                // down; the restart below must recover from the previous
+                // valid one (and the job checkpoint stores self-heal any
+                // staleness that introduces).
+                match corrupt_newest_queue_snapshot(&state) {
+                    Ok(name) => report.record(
+                        "queue_snapshot_corruption_injected",
+                        true,
+                        format!("flipped one bit in {name} before restart"),
+                    ),
+                    Err(e) => report.record("queue_snapshot_corruption_injected", false, e),
+                }
+            }
+            let child = spawn_daemon(&socket, &state);
+            let mut client = connect(&socket);
+            let fresh = submit_all(&mut client, specs);
+            if round == 0 {
+                report.record(
+                    "kill_round_0_submit",
+                    fresh == specs.len(),
+                    format!(
+                        "{fresh} of {} submissions fresh on first round",
+                        specs.len()
+                    ),
+                );
+            }
+            let known = client.ping().expect("ping").0;
+            let seen = kill_at_progress(child, &mut client, threshold);
+            progress_at_kill.push(seen);
+            report.record(
+                &format!("kill_round_{round}"),
+                known == specs.len() as u64,
+                format!(
+                    "daemon knew {known} jobs; SIGKILL at total progress {seen}/{total} \
+                     (threshold {threshold})"
+                ),
+            );
+        }
+        report.record(
+            "kill_points_distinct",
+            progress_at_kill.windows(2).all(|w| w[0] <= w[1]),
+            format!("kill progress sequence {progress_at_kill:?}"),
+        );
+
+        // Final restart: recover, resubmit (idempotent), drain, verify.
+        let child = spawn_daemon(&socket, &state);
+        let mut client = connect(&socket);
+        submit_all(&mut client, specs);
+        let views = client
+            .wait_until_done(4_000, 25)
+            .expect("wait for drill fleet");
+        let (ok, detail) = check_against_golden(&views, specs, goldens);
+        report.record("final_fleet_vs_golden_after_kills", ok, detail);
+        client.shutdown().expect("shutdown drill daemon");
+        let mut child = child;
+        let status = child.wait().expect("join daemon");
+        report.record(
+            "daemon_clean_shutdown",
+            status.success(),
+            format!("daemon exit status {status}"),
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+fn main() {
+    // Self-respawn mode: `fleet_drill --daemon <socket> <state>` serves a
+    // daemon in this process (the parent SIGKILLs it mid-flight).
+    #[cfg(unix)]
+    {
+        let args: Vec<String> = std::env::args().collect();
+        if args.len() == 4 && args[1] == "--daemon" {
+            std::process::exit(killdrill::serve_daemon(&args[2], &args[3]));
+        }
+    }
+
+    let specs = fleet_specs();
+    let total: u64 = specs.iter().map(|s| s.cycles).sum();
+    println!(
+        "fleet drill: {} jobs, {} total cycles, canonical quantum {CANONICAL_QUANTUM}",
+        specs.len(),
+        total
+    );
+
+    let mut report = Report { legs: Vec::new() };
+
+    let goldens: Vec<u64> = specs.iter().map(solo_checksum).collect();
+    for (s, g) in specs.iter().zip(&goldens) {
+        println!("  golden {}: {g:016x}", s.name);
+    }
+
+    canonical_pass(&mut report, &specs, &goldens);
+    invariance_matrix(&mut report, &specs, &goldens);
+    #[cfg(unix)]
+    killdrill::run(&mut report, &specs, &goldens);
+    #[cfg(not(unix))]
+    report.record(
+        "kill_drill_skipped",
+        true,
+        "unix sockets unavailable on this platform".into(),
+    );
+
+    report.write("results/FLEET_report.json");
+    if !report.legs.iter().all(|l| l.passed) {
+        eprintln!("fleet drill FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "fleet drill passed: every schedule, restart, and corruption path \
+         reached the solo-run checksums"
+    );
+}

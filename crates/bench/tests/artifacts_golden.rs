@@ -18,8 +18,12 @@ fn load(name: &str) -> Json {
 
 #[test]
 fn checked_in_tables_regenerate_byte_identically() {
-    let tables = all_tables(&load("BENCH_scaling.json"), &load("TRACE_scaling.json"))
-        .expect("artifact build failed");
+    let tables = all_tables(
+        &load("BENCH_scaling.json"),
+        &load("TRACE_scaling.json"),
+        &load("FLEET_drill.json"),
+    )
+    .expect("artifact build failed");
     let names: Vec<&str> = tables.iter().map(|t| t.name).collect();
     assert_eq!(
         names,
@@ -28,7 +32,8 @@ fn checked_in_tables_regenerate_byte_identically() {
             "TABLE_4",
             "TABLE_scaling",
             "TABLE_trace_phases",
-            "TABLE_ckpt"
+            "TABLE_ckpt",
+            "TABLE_fleet"
         ],
         "exported table set changed — update this test and the CI diff leg together"
     );
@@ -52,7 +57,12 @@ fn checked_in_tables_regenerate_byte_identically() {
 
 #[test]
 fn rendered_tables_are_schema_versioned_and_newline_clean() {
-    let tables = all_tables(&load("BENCH_scaling.json"), &load("TRACE_scaling.json")).unwrap();
+    let tables = all_tables(
+        &load("BENCH_scaling.json"),
+        &load("TRACE_scaling.json"),
+        &load("FLEET_drill.json"),
+    )
+    .unwrap();
     for t in &tables {
         let csv = t.render_csv();
         assert!(

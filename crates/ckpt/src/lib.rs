@@ -41,4 +41,4 @@ pub use fingerprint::Fingerprint;
 pub use fnv::{fnv1a, Fnv64};
 pub use header::{Header, HEADER_LEN, MAGIC, VERSION};
 pub use snapshot::Snapshot;
-pub use store::{load_file, CheckpointStore, WriteReceipt, MANIFEST_NAME};
+pub use store::{atomic_write_bytes, load_file, CheckpointStore, WriteReceipt, MANIFEST_NAME};

@@ -62,6 +62,26 @@ pub fn load_file(path: &Path) -> Result<Snapshot, CkptError> {
     Snapshot::decode(&bytes)
 }
 
+/// Write `bytes` to `path` atomically: the data lands in `<path>.tmp`, is
+/// fsynced, and only then renamed over the final name. `rename(2)` is
+/// atomic on every POSIX filesystem, so a crash at any instant leaves
+/// either the complete new file or the previous one — never a torn write.
+/// This is the one sanctioned tmp+fsync+rename implementation in the
+/// workspace: the checkpoint store's snapshot and manifest writes go
+/// through it, and so does `anton-fleet`'s queue-state persistence.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Wall-clock milliseconds for the manifest's `written_unix_ms` column:
 /// observability metadata for operators, recorded once per manifest write.
 /// Recovery never reads it and no value derived from it flows anywhere
@@ -143,15 +163,7 @@ impl CheckpointStore {
     pub fn write(&self, snap: &Snapshot) -> Result<WriteReceipt, CkptError> {
         let bytes = snap.encode();
         let final_path = self.checkpoint_path(snap.step);
-        let tmp_path = self
-            .dir
-            .join(format!("{PREFIX}{:012}{SUFFIX}.tmp", snap.step));
-        {
-            let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
+        atomic_write_bytes(&final_path, &bytes)?;
 
         let mut entries = self.list()?;
         let mut pruned = Vec::new();
@@ -186,10 +198,7 @@ impl CheckpointStore {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
             s.push_str(&format!("{step} {size} {name}\n"));
         }
-        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp"));
-        fs::write(&tmp, &s)?;
-        fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
-        Ok(())
+        atomic_write_bytes(&self.dir.join(MANIFEST_NAME), &s.into_bytes())
     }
 
     /// The newest checkpoint that loads cleanly, with full checksum
@@ -292,6 +301,26 @@ mod tests {
         let (_, snap) = store.latest_valid().unwrap();
         assert_eq!(snap.step, 16);
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn atomic_write_bytes_replaces_whole_files_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "anton-ckpt-atomic-write-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue.ant");
+        atomic_write_bytes(&path, b"first revision").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first revision");
+        // Overwrite: the replacement is whole-file, never an append or a
+        // partial in-place update.
+        atomic_write_bytes(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // The intermediate temp name never survives a completed write.
+        assert!(!dir.join("queue.ant.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 /// artifacts — a nondeterministic check would report phantom violations.
 pub const DET_CRATES: &[&str] = &[
     "fixpoint", "geometry", "fft", "ewald", "nt", "machine", "core", "trace", "ckpt", "analysis",
+    "fleet",
 ];
 
 /// Crates where unordered-container iteration (D2) is policed. `systems`
